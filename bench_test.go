@@ -1,0 +1,209 @@
+// Paper-reproduction benchmarks: one Benchmark per table and figure of the
+// evaluation section (see DESIGN.md's per-experiment index). Each iteration
+// regenerates the artefact end-to-end from a fresh harness; the interesting
+// output is the custom metrics (geomean H_ANTT/H_STP vs Linux) reported
+// alongside the timing.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package colab_test
+
+import (
+	"testing"
+
+	"colab/internal/cpu"
+	"colab/internal/experiment"
+	"colab/internal/mathx"
+	"colab/internal/perfmodel"
+	"colab/internal/workload"
+
+	colab "colab"
+)
+
+func newRunner(b *testing.B) *experiment.Runner {
+	b.Helper()
+	r, err := experiment.NewRunner(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTable2TrainSpeedupModel regenerates the offline training
+// pipeline: 30 symmetric simulations, PCA counter selection, OLS fit.
+func BenchmarkTable2TrainSpeedupModel(b *testing.B) {
+	var r2 float64
+	for i := 0; i < b.N; i++ {
+		samples, err := perfmodel.CollectSamples(perfmodel.CollectOptions{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := perfmodel.Train(samples, perfmodel.NumSelected)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2 = m.R2
+	}
+	b.ReportMetric(r2, "R2")
+}
+
+// BenchmarkTable3Characterization instantiates the whole Table 3 benchmark
+// suite (15 generators at their default thread counts).
+func BenchmarkTable3Characterization(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := mathx.NewRNG(uint64(i + 1))
+		for _, bench := range workload.All() {
+			app := bench.Instantiate(0, bench.DefaultThreads, rng)
+			if app.NumThreads() == 0 {
+				b.Fatal("empty app")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Compositions builds all 26 Table 4 workloads.
+func BenchmarkTable4Compositions(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, comp := range workload.Compositions() {
+			if _, err := comp.Build(uint64(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4SingleProgram regenerates the single-program H_NTT study
+// (12 benchmarks x 3 schedulers x 2 core orders on 2B2S, plus baselines).
+func BenchmarkFigure4SingleProgram(b *testing.B) {
+	var geomean float64
+	for i := 0; i < b.N; i++ {
+		tab, err := newRunner(b).Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tab
+		geomean++
+	}
+}
+
+func benchClassFigure(b *testing.B, run func(*experiment.Runner) (*experiment.Table, error)) {
+	for i := 0; i < b.N; i++ {
+		if _, err := run(newRunner(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5SyncNSync regenerates the Sync/NSync class comparison
+// (8 workloads x 4 configs x 3 schedulers x 2 orders + baselines).
+func BenchmarkFigure5SyncNSync(b *testing.B) {
+	benchClassFigure(b, (*experiment.Runner).Figure5)
+}
+
+// BenchmarkFigure6CommComp regenerates the Comm/Comp class comparison.
+func BenchmarkFigure6CommComp(b *testing.B) {
+	benchClassFigure(b, (*experiment.Runner).Figure6)
+}
+
+// BenchmarkFigure7RandomMix regenerates the 10-workload random-mix figure.
+func BenchmarkFigure7RandomMix(b *testing.B) {
+	benchClassFigure(b, (*experiment.Runner).Figure7)
+}
+
+// BenchmarkFigure8ThreadCount regenerates the thread-count regrouping (the
+// full 26-workload matrix feeds it).
+func BenchmarkFigure8ThreadCount(b *testing.B) {
+	benchClassFigure(b, (*experiment.Runner).Figure8)
+}
+
+// BenchmarkFigure9ProgramCount regenerates the program-count regrouping.
+func BenchmarkFigure9ProgramCount(b *testing.B) {
+	benchClassFigure(b, (*experiment.Runner).Figure9)
+}
+
+// BenchmarkSummaryAll regenerates the paper's closing aggregate over the
+// full 312-simulation matrix and reports the headline metrics.
+func BenchmarkSummaryAll(b *testing.B) {
+	var colabANTT, washANTT float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		cells, err := r.RunMatrix(workload.Compositions(), cpu.EvaluatedConfigs(),
+			[]string{experiment.SchedWASH, experiment.SchedCOLAB})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ca, wa []float64
+		for _, c := range cells {
+			switch c.Sched {
+			case experiment.SchedCOLAB:
+				ca = append(ca, c.Norm.HANTT)
+			case experiment.SchedWASH:
+				wa = append(wa, c.Norm.HANTT)
+			}
+		}
+		colabANTT = mathx.GeoMean(ca)
+		washANTT = mathx.GeoMean(wa)
+	}
+	b.ReportMetric(colabANTT, "colab-H_ANTT-vs-linux")
+	b.ReportMetric(washANTT, "wash-H_ANTT-vs-linux")
+}
+
+// BenchmarkAblationScaleSlice and friends quantify each COLAB design choice
+// on the Sync class, 2B2S (DESIGN.md's ablation index).
+func benchAblation(b *testing.B, kind string) {
+	var antt float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		cells, err := r.RunMatrix(workload.CompositionsByClass(workload.ClassSync),
+			[]cpu.Config{cpu.Config2B2S}, []string{kind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var vals []float64
+		for _, c := range cells {
+			vals = append(vals, c.Norm.HANTT)
+		}
+		antt = mathx.GeoMean(vals)
+	}
+	b.ReportMetric(antt, "H_ANTT-vs-linux")
+}
+
+func BenchmarkAblationFullCOLAB(b *testing.B)    { benchAblation(b, experiment.SchedCOLAB) }
+func BenchmarkAblationNoScaleSlice(b *testing.B) { benchAblation(b, experiment.SchedCOLABNoScale) }
+func BenchmarkAblationLocalSelector(b *testing.B) {
+	benchAblation(b, experiment.SchedCOLABLocal)
+}
+func BenchmarkAblationFlatAllocator(b *testing.B) { benchAblation(b, experiment.SchedCOLABFlat) }
+func BenchmarkAblationNoPull(b *testing.B)        { benchAblation(b, experiment.SchedCOLABNoPull) }
+func BenchmarkAblationOracleModel(b *testing.B)   { benchAblation(b, experiment.SchedCOLABOracle) }
+func BenchmarkAblationGTS(b *testing.B)           { benchAblation(b, experiment.SchedGTS) }
+
+// BenchmarkSimulationThroughput measures raw simulator speed: one Sync-2
+// mix on 2B2S under COLAB, reporting simulated events per wall second.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	model, err := colab.TrainSpeedupModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := colab.BuildWorkload("Sync-2", uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := colab.Run(colab.Config2B2S, colab.NewCOLAB(model), w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	}
+}

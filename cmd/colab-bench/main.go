@@ -1,0 +1,145 @@
+// Command colab-bench regenerates the paper's evaluation artefacts: the
+// Table 2 speedup model, the Figure 4 single-program study, the class
+// figures 5-7, the regroupings of figures 8-9, the 312-experiment summary
+// and the extension ablations.
+//
+// Usage:
+//
+//	colab-bench              # everything
+//	colab-bench -fig 5       # one figure
+//	colab-bench -summary     # just the closing aggregate
+//	colab-bench -ablation    # design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"colab/internal/cpu"
+	"colab/internal/experiment"
+	"colab/internal/workload"
+)
+
+type job struct {
+	name string
+	run  func() (string, error)
+}
+
+func tableJob(name string, f func() (*experiment.Table, error)) job {
+	return job{name: name, run: func() (string, error) {
+		t, err := f()
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}}
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate a single figure (4-9)")
+	summary := flag.Bool("summary", false, "regenerate only the 312-experiment summary")
+	ablation := flag.Bool("ablation", false, "run the COLAB design-choice ablations")
+	energy := flag.Bool("energy", false, "run the energy/EDP extension table")
+	replication := flag.Bool("replication", false, "run the multi-seed variance table")
+	detail := flag.Bool("detail", false, "print every per-workload cell of the matrix")
+	tables := flag.Bool("tables", false, "regenerate only tables 2-4")
+	csvPath := flag.String("csv", "", "also export the full 26x4 matrix as CSV to this file")
+	seed := flag.Uint64("seed", 1, "workload generation seed")
+	flag.Parse()
+
+	start := time.Now()
+	r, err := experiment.NewRunner(*seed)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	all := []job{
+		{name: "table2", run: experiment.Table2},
+		{name: "table3", run: func() (string, error) { return experiment.Table3().String(), nil }},
+		{name: "table4", run: func() (string, error) { return experiment.Table4().String(), nil }},
+		tableJob("fig4", r.Figure4),
+		tableJob("fig5", r.Figure5),
+		tableJob("fig6", r.Figure6),
+		tableJob("fig7", r.Figure7),
+		tableJob("fig8", r.Figure8),
+		tableJob("fig9", r.Figure9),
+		tableJob("summary", r.Summary),
+		tableJob("ablation", r.Ablation),
+		tableJob("energy", r.EnergyTable),
+		tableJob("replication", func() (*experiment.Table, error) {
+			return experiment.ReplicationTable(nil)
+		}),
+		tableJob("detail", r.DetailTable),
+	}
+
+	var names []string
+	switch {
+	case *fig != 0:
+		names = []string{fmt.Sprintf("fig%d", *fig)}
+	case *summary:
+		names = []string{"summary"}
+	case *ablation:
+		names = []string{"ablation"}
+	case *energy:
+		names = []string{"energy"}
+	case *replication:
+		names = []string{"replication"}
+	case *detail:
+		names = []string{"detail"}
+	case *tables:
+		names = []string{"table2", "table3", "table4"}
+	default:
+		for _, j := range all {
+			// replication is opt-in (5x the matrix cost); detail is opt-in
+			// (104 rows of output).
+			if j.name != "replication" && j.name != "detail" {
+				names = append(names, j.name)
+			}
+		}
+	}
+
+	if *csvPath != "" {
+		cells, err := r.RunMatrix(workload.Compositions(), cpu.EvaluatedConfigs(),
+			[]string{experiment.SchedWASH, experiment.SchedCOLAB})
+		if err != nil {
+			fail("csv export: %v", err)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail("csv export: %v", err)
+		}
+		if err := experiment.WriteCellsCSV(f, cells); err != nil {
+			fail("csv export: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("csv export: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "colab-bench: wrote %s\n", *csvPath)
+	}
+
+	ran := 0
+	for _, n := range names {
+		for _, j := range all {
+			if j.name != n {
+				continue
+			}
+			out, err := j.run()
+			if err != nil {
+				fail("%s: %v", j.name, err)
+			}
+			fmt.Println(out)
+			ran++
+		}
+	}
+	if ran == 0 {
+		fail("nothing selected (unknown figure?)")
+	}
+	fmt.Fprintf(os.Stderr, "colab-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "colab-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

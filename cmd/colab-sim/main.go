@@ -1,0 +1,93 @@
+// Command colab-sim runs one workload on one simulated machine under one
+// scheduler and prints per-application timing and machine utilisation.
+//
+// Usage:
+//
+//	colab-sim -workload Sync-2 -config 2B2S -sched colab
+//	colab-sim -bench ferret -threads 4 -config 2B2S -sched wash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"colab/internal/cpu"
+	"colab/internal/experiment"
+	"colab/internal/kernel"
+	"colab/internal/task"
+	"colab/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "Table 4 composition index (e.g. Sync-2, Rand-7)")
+	bench := flag.String("bench", "", "single benchmark name instead of a composition")
+	threads := flag.Int("threads", 4, "thread count for -bench")
+	cfgName := flag.String("config", "2B2S", "hardware config: 2B2S, 2B4S, 4B2S, 4B4S")
+	sched := flag.String("sched", "colab", "scheduler: linux, wash, colab, gts, colab-noscale, ...")
+	seed := flag.Uint64("seed", 1, "workload generation seed")
+	littleFirst := flag.Bool("little-first", false, "order little cores before big cores")
+	trace := flag.Bool("trace", false, "print the scheduling event trace to stderr")
+	flag.Parse()
+
+	cfg, ok := cpu.ConfigByName(*cfgName)
+	if !ok {
+		fail("unknown config %q (want 2B2S, 2B4S, 4B2S or 4B4S)", *cfgName)
+	}
+	cfg = cpu.NewConfig(cfg.NumBig(), cfg.NumLittle(), !*littleFirst)
+
+	var (
+		w   *task.Workload
+		err error
+	)
+	switch {
+	case *bench != "":
+		w, err = workload.SingleProgram(*bench, *threads, *seed)
+	case *wl != "":
+		comp, ok := workload.CompositionByIndex(*wl)
+		if !ok {
+			fail("unknown workload %q; known: %s", *wl, strings.Join(compositionIndexes(), ", "))
+		}
+		w, err = comp.Build(*seed)
+	default:
+		fail("one of -workload or -bench is required")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	runner, err := experiment.NewRunner(*seed)
+	if err != nil {
+		fail("%v", err)
+	}
+	s, err := runner.NewScheduler(*sched)
+	if err != nil {
+		fail("%v", err)
+	}
+	m, err := kernel.NewMachine(cfg, s, w, kernel.Params{})
+	if err != nil {
+		fail("%v", err)
+	}
+	if *trace {
+		m.SetTracer(kernel.WriteTracer(os.Stderr))
+	}
+	res, err := m.Run()
+	if err != nil {
+		fail("%v", err)
+	}
+	res.WriteSummary(os.Stdout)
+}
+
+func compositionIndexes() []string {
+	var out []string
+	for _, c := range workload.Compositions() {
+		out = append(out, c.Index)
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "colab-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

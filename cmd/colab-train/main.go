@@ -1,0 +1,47 @@
+// Command colab-train regenerates the paper's Table 2: it collects the
+// offline training set (every benchmark single-program on symmetric
+// big-only and little-only machines), selects the six most informative
+// performance counters with PCA and fits the linear speedup model.
+//
+// Usage:
+//
+//	colab-train [-cores N] [-seed S] [-k K] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"colab/internal/perfmodel"
+)
+
+func main() {
+	cores := flag.Int("cores", 4, "core count of the symmetric training machines")
+	seed := flag.Uint64("seed", 42, "workload generation seed")
+	k := flag.Int("k", perfmodel.NumSelected, "number of counters to select")
+	verbose := flag.Bool("v", false, "print per-sample predictions")
+	flag.Parse()
+
+	samples, err := perfmodel.CollectSamples(perfmodel.CollectOptions{Cores: *cores, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "colab-train:", err)
+		os.Exit(1)
+	}
+	model, err := perfmodel.Train(samples, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "colab-train:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== Table 2: selected performance counters and speedup model ==")
+	fmt.Print(model.Describe())
+
+	if *verbose {
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Bench < samples[j].Bench })
+		fmt.Println("\nper-thread training samples (measured vs predicted):")
+		for _, s := range samples {
+			fmt.Printf("  %-16s measured=%.3f predicted=%.3f\n", s.Bench, s.Speedup, model.Predict(s.Counters))
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Command colab-workloads prints the workload inventory: Table 3 (benchmark
+// categorisation) and Table 4 (multi-programmed compositions), plus an
+// optional per-benchmark structural dump.
+//
+// Usage:
+//
+//	colab-workloads [-describe bench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colab/internal/experiment"
+	"colab/internal/mathx"
+	"colab/internal/workload"
+)
+
+func main() {
+	describe := flag.String("describe", "", "dump the structure of one benchmark instance")
+	threads := flag.Int("threads", 4, "thread count for -describe")
+	flag.Parse()
+
+	if *describe != "" {
+		b, ok := workload.ByName(*describe)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "colab-workloads: unknown benchmark %q\n", *describe)
+			os.Exit(1)
+		}
+		app := b.Instantiate(0, *threads, mathx.NewRNG(42))
+		fmt.Printf("%s (%s): sync=%s comm/comp=%s threads=%d\n",
+			b.Name, b.Suite, b.SyncRate, b.CommComp, app.NumThreads())
+		for _, t := range app.Threads {
+			fmt.Printf("  %-10s ops=%-5d work=%6.1fms true-speedup=%.2f\n",
+				t.Name, len(t.Program), t.Program.TotalWork()/1e6, t.Profile.TrueSpeedup())
+		}
+		return
+	}
+	fmt.Print(experiment.Table3())
+	fmt.Println()
+	fmt.Print(experiment.Table4())
+}

@@ -1,0 +1,243 @@
+// Package colab is a Go reproduction of "COLAB: A Collaborative
+// Multi-factor Scheduler for Asymmetric Multicore Processors" (Yu,
+// Petoumenos, Janjic, Leather, Thomson — CGO 2020).
+//
+// It bundles everything the paper's system needs, built from scratch:
+//
+//   - a deterministic discrete-event simulator of ARM big.LITTLE-like
+//     asymmetric multicores (the gem5 substitute),
+//   - a simulated OS scheduling layer with futex-based synchronisation and
+//     blocking-blame accounting (the Linux kernel substitute),
+//   - five pluggable scheduling policies: Linux CFS, WASH (the prior state
+//     of the art), ARM GTS, a Linux-EAS-like energy-aware policy, and
+//     COLAB itself,
+//   - the PCA + linear-regression speedup model trained from symmetric
+//     big-only/little-only runs (Table 2),
+//   - synthetic PARSEC 3.0 / SPLASH-2 benchmark generators (Table 3) and
+//     the 26 multi-programmed workload compositions (Table 4),
+//   - the H_NTT / H_ANTT / H_STP metrics and the full experiment harness
+//     regenerating every figure and table of the paper's evaluation.
+//
+// Quick start:
+//
+//	model, _ := colab.TrainSpeedupModel()
+//	w, _ := colab.BuildWorkload("Sync-2", 1)
+//	res, _ := colab.Run(colab.Config2B2S, colab.NewCOLAB(model), w)
+//	res.WriteSummary(os.Stdout)
+//
+// The cmd/ tools expose the same functionality on the command line and
+// examples/ holds runnable scenarios.
+package colab
+
+import (
+	"fmt"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/metrics"
+	"colab/internal/perfmodel"
+	"colab/internal/sched/cfs"
+	colabsched "colab/internal/sched/colab"
+	"colab/internal/sched/eas"
+	"colab/internal/sched/gts"
+	"colab/internal/sched/wash"
+	"colab/internal/sim"
+	"colab/internal/task"
+	"colab/internal/workload"
+)
+
+// Core simulation types re-exported for API users.
+type (
+	// Config is a machine shape: an ordered list of big/little cores.
+	Config = cpu.Config
+	// CoreKind distinguishes big from little cores.
+	CoreKind = cpu.Kind
+	// Core is one simulated CPU (visible to custom schedulers).
+	Core = kernel.Core
+	// Scheduler is the pluggable policy interface; implement it to drop a
+	// custom policy into the simulated kernel.
+	Scheduler = kernel.Scheduler
+	// Machine is one wired simulation instance.
+	Machine = kernel.Machine
+	// Params carries kernel costs (context switch, migration).
+	Params = kernel.Params
+	// Result is the outcome of one simulation.
+	Result = kernel.Result
+	// Workload is a named set of applications admitted together.
+	Workload = task.Workload
+	// App is one application (benchmark instance) in a workload.
+	App = task.App
+	// Thread is one schedulable entity.
+	Thread = task.Thread
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+	// SpeedupModel is the trained Table 2 performance model.
+	SpeedupModel = perfmodel.Model
+	// MixScore carries the H_ANTT / H_STP pair of one run.
+	MixScore = metrics.MixScore
+	// Composition is one Table 4 multi-programmed workload description.
+	Composition = workload.Composition
+	// Benchmark is one Table 3 synthetic benchmark generator.
+	Benchmark = workload.Benchmark
+)
+
+// Workload-authoring types: build custom applications against the same
+// program DSL the synthetic benchmarks use.
+type (
+	// WorkProfile is a thread's hidden microarchitectural character; it
+	// determines the true big-vs-little speedup and the counters the
+	// schedulers observe.
+	WorkProfile = cpu.WorkProfile
+	// Program is a thread's ordered op list.
+	Program = task.Program
+	// Compute retires work (1 unit = 1 ns of little-core execution).
+	Compute = task.Compute
+	// Lock acquires a futex-backed mutex.
+	Lock = task.Lock
+	// Unlock releases a futex-backed mutex.
+	Unlock = task.Unlock
+	// Barrier joins an app-scoped barrier.
+	Barrier = task.Barrier
+	// Put produces into a bounded queue.
+	Put = task.Put
+	// Get consumes from a bounded queue.
+	Get = task.Get
+	// Sleep suspends the thread without assigning blame.
+	Sleep = task.Sleep
+	// Phase switches the thread's active work profile mid-program.
+	Phase = task.Phase
+	// QueueSpec declares a bounded queue an app's Put/Get ops use.
+	QueueSpec = task.QueueSpec
+)
+
+// Core kinds.
+const (
+	Big    = cpu.Big
+	Little = cpu.Little
+)
+
+// The four evaluated machine shapes (§5.1).
+var (
+	Config2B2S = cpu.Config2B2S
+	Config2B4S = cpu.Config2B4S
+	Config4B2S = cpu.Config4B2S
+	Config4B4S = cpu.Config4B4S
+)
+
+// EvaluatedConfigs returns the four platform shapes in paper order.
+func EvaluatedConfigs() []Config { return cpu.EvaluatedConfigs() }
+
+// NewConfig builds an arbitrary nBig+nLittle machine; bigFirst selects core
+// ordering (initial placement follows core order).
+func NewConfig(nBig, nLittle int, bigFirst bool) Config {
+	return cpu.NewConfig(nBig, nLittle, bigFirst)
+}
+
+// Benchmarks returns the fifteen Table 3 benchmark generators.
+func Benchmarks() []Benchmark { return workload.All() }
+
+// Compositions returns the 26 Table 4 multi-programmed workloads.
+func Compositions() []Composition { return workload.Compositions() }
+
+// BuildWorkload instantiates a Table 4 composition by index ("Sync-2",
+// "Rand-7", ...). Each call yields fresh threads; a workload is single-use.
+func BuildWorkload(index string, seed uint64) (*Workload, error) {
+	comp, ok := workload.CompositionByIndex(index)
+	if !ok {
+		return nil, fmt.Errorf("colab: unknown workload %q", index)
+	}
+	return comp.Build(seed)
+}
+
+// BuildBenchmark instantiates one benchmark alone (the Figure 4 setting).
+func BuildBenchmark(name string, threads int, seed uint64) (*Workload, error) {
+	return workload.SingleProgram(name, threads, seed)
+}
+
+// TrainSpeedupModel collects the symmetric training runs and fits the
+// standard six-counter speedup model (Table 2). The result is cached
+// process-wide.
+func TrainSpeedupModel() (*SpeedupModel, error) { return perfmodel.Default() }
+
+// NewLinux returns the Linux CFS baseline policy.
+func NewLinux() Scheduler { return cfs.New(cfs.Options{}) }
+
+// NewWASH returns the WASH (CGO 2016) policy driven by the given speedup
+// model; nil model selects a neutral predictor.
+func NewWASH(model *SpeedupModel) Scheduler {
+	o := wash.Options{}
+	if model != nil {
+		o.Speedup = model.ThreadPredictor()
+	}
+	return wash.New(o)
+}
+
+// COLABOptions tunes the COLAB policy (zero value = paper configuration).
+type COLABOptions = colabsched.Options
+
+// NewCOLAB returns the COLAB policy driven by the given speedup model; nil
+// model selects a neutral predictor.
+func NewCOLAB(model *SpeedupModel) Scheduler {
+	o := colabsched.Options{}
+	if model != nil {
+		o.Speedup = model.ThreadPredictor()
+	}
+	return colabsched.New(o)
+}
+
+// NewCOLABWithOptions returns a COLAB policy with explicit options (for
+// ablations and tuning studies).
+func NewCOLABWithOptions(o COLABOptions) Scheduler { return colabsched.New(o) }
+
+// NewGTS returns the ARM Global Task Scheduling-like policy.
+func NewGTS() Scheduler { return gts.New(gts.Options{}) }
+
+// NewEAS returns the Linux Energy-Aware-Scheduling-like policy (extension:
+// the modern mainline big.LITTLE baseline, post-dating the paper).
+func NewEAS() Scheduler { return eas.New(eas.Options{}) }
+
+// Run simulates workload w on config cfg under the given policy with
+// default kernel costs.
+func Run(cfg Config, s Scheduler, w *Workload) (*Result, error) {
+	return RunWithParams(cfg, s, w, Params{})
+}
+
+// RunWithParams simulates with explicit kernel costs.
+func RunWithParams(cfg Config, s Scheduler, w *Workload, p Params) (*Result, error) {
+	m, err := kernel.NewMachine(cfg, s, w, p)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// TraceEvent is one timestamped scheduling event (dispatch, migrate, block,
+// wake, preempt, rotate, idle, done).
+type TraceEvent = kernel.TraceEvent
+
+// RunTraced simulates like Run while streaming every scheduling event to
+// the tracer callback.
+func RunTraced(cfg Config, s Scheduler, w *Workload, tracer func(TraceEvent)) (*Result, error) {
+	m, err := kernel.NewMachine(cfg, s, w, Params{})
+	if err != nil {
+		return nil, err
+	}
+	m.SetTracer(tracer)
+	return m.Run()
+}
+
+// Score computes H_ANTT / H_STP for a finished mix given per-app big-only
+// baseline turnarounds in app order.
+func Score(res *Result, baselines []Time) (MixScore, error) {
+	if len(baselines) != len(res.Apps) {
+		return MixScore{}, fmt.Errorf("colab: %d baselines for %d apps", len(baselines), len(res.Apps))
+	}
+	return metrics.Score(res, func(i int, _ kernel.AppResult) Time { return baselines[i] })
+}
+
+// Durations for workload authors and option tuning.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)

@@ -1,0 +1,97 @@
+// Custompolicy: drops a user-defined scheduling policy into the simulated
+// kernel through the public API. The policy here is deliberately naive —
+// FIFO run queues with round-robin placement and no asymmetry awareness —
+// and the example compares it against CFS and COLAB on a
+// synchronisation-heavy mix to show how much the policy layer matters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colab"
+)
+
+// fifoPolicy implements colab.Scheduler: round-robin placement, per-core
+// FIFO queues, fixed 2 ms slices, no preemption, no stealing.
+type fifoPolicy struct {
+	m    *colab.Machine
+	rqs  [][]*colab.Thread
+	next int
+}
+
+func (p *fifoPolicy) Name() string { return "fifo" }
+
+func (p *fifoPolicy) Start(m *colab.Machine) {
+	p.m = m
+	p.rqs = make([][]*colab.Thread, len(m.Cores()))
+	p.next = 0
+}
+
+func (p *fifoPolicy) Admit(t *colab.Thread) {}
+
+func (p *fifoPolicy) Enqueue(t *colab.Thread, wakeup bool) int {
+	core := p.next % len(p.rqs)
+	p.next++
+	p.rqs[core] = append(p.rqs[core], t)
+	return core
+}
+
+func (p *fifoPolicy) PickNext(c *colab.Core) *colab.Thread {
+	q := p.rqs[c.ID]
+	if len(q) == 0 {
+		// Minimal work conservation: take from the longest other queue.
+		longest := -1
+		for i, o := range p.rqs {
+			if len(o) > 0 && (longest < 0 || len(o) > len(p.rqs[longest])) {
+				longest = i
+			}
+		}
+		if longest < 0 {
+			return nil
+		}
+		q = p.rqs[longest]
+		t := q[0]
+		p.rqs[longest] = q[1:]
+		return t
+	}
+	t := q[0]
+	p.rqs[c.ID] = q[1:]
+	return t
+}
+
+func (p *fifoPolicy) TimeSlice(c *colab.Core, t *colab.Thread) colab.Time {
+	return 2 * colab.Millisecond
+}
+
+func (p *fifoPolicy) VRuntimeScale(c *colab.Core, t *colab.Thread) float64 { return 1 }
+
+func (p *fifoPolicy) WakeupPreempt(c *colab.Core, t *colab.Thread) bool { return false }
+
+func (p *fifoPolicy) ThreadDone(t *colab.Thread) {}
+
+func main() {
+	model, err := colab.TrainSpeedupModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []struct {
+		name string
+		mk   func() colab.Scheduler
+	}{
+		{"fifo (custom)", func() colab.Scheduler { return &fifoPolicy{} }},
+		{"linux", colab.NewLinux},
+		{"colab", func() colab.Scheduler { return colab.NewCOLAB(model) }},
+	} {
+		w, err := colab.BuildWorkload("Sync-3", 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := colab.Run(colab.Config2B4S, s.mk(), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s makespan %v, migrations %d, preemptions %d\n",
+			s.name, res.Makespan(), res.TotalMigrations, res.TotalPreemptions)
+	}
+}

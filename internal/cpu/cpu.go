@@ -1,0 +1,178 @@
+// Package cpu models the asymmetric multicore hardware the paper simulates
+// with gem5: ARM big.LITTLE-like processors with out-of-order "big" cores
+// (Cortex-A57-like, 2 GHz) and in-order "little" cores (Cortex-A53-like,
+// 1.2 GHz).
+//
+// The model is timing-level, not cycle-level. Each thread carries a hidden
+// WorkProfile describing its microarchitectural character (ILP, branchiness,
+// memory intensity, ...). The profile determines (a) the thread's true
+// big-vs-little speedup — how much faster a big core retires its work — and
+// (b) the synthetic hardware performance counters the schedulers observe.
+// Schedulers never see the profile or the true speedup; they must infer it
+// from counters through the trained model, exactly as on real hardware.
+package cpu
+
+import "fmt"
+
+// Kind distinguishes the two core types of a single-ISA AMP.
+type Kind int
+
+const (
+	// Little is an in-order, low-power core (Cortex-A53-like).
+	Little Kind = iota
+	// Big is an out-of-order, high-performance core (Cortex-A57-like).
+	Big
+)
+
+// String returns "big" or "little".
+func (k Kind) String() string {
+	if k == Big {
+		return "big"
+	}
+	return "little"
+}
+
+// Spec describes one core type.
+type Spec struct {
+	Kind    Kind
+	Name    string
+	FreqMHz int
+	// L1I, L1D and L2 sizes in KiB; informational (they shape the counter
+	// model constants) and reported by tooling.
+	L1IKB, L1DKB, L2KB int
+}
+
+// Standard core specs mirroring the paper's gem5 configuration (§5.1).
+var (
+	BigSpec    = Spec{Kind: Big, Name: "cortexa57", FreqMHz: 2000, L1IKB: 48, L1DKB: 32, L2KB: 2048}
+	LittleSpec = Spec{Kind: Little, Name: "cortexa53", FreqMHz: 1200, L1IKB: 32, L1DKB: 32, L2KB: 512}
+)
+
+// FreqRatio is the big/little clock ratio (2.0 GHz / 1.2 GHz).
+const FreqRatio = 2000.0 / 1200.0
+
+// Config is a machine configuration: an ordered list of core kinds. Order
+// matters — the paper averages each experiment over two simulations with
+// big-cores-first and little-cores-first orderings, because initial
+// placement follows core order.
+type Config struct {
+	Name  string
+	Kinds []Kind
+}
+
+// NewConfig builds a configuration with nBig big cores and nLittle little
+// cores. bigFirst selects the core ordering.
+func NewConfig(nBig, nLittle int, bigFirst bool) Config {
+	name := fmt.Sprintf("%dB%dS", nBig, nLittle)
+	kinds := make([]Kind, 0, nBig+nLittle)
+	if bigFirst {
+		for i := 0; i < nBig; i++ {
+			kinds = append(kinds, Big)
+		}
+		for i := 0; i < nLittle; i++ {
+			kinds = append(kinds, Little)
+		}
+	} else {
+		for i := 0; i < nLittle; i++ {
+			kinds = append(kinds, Little)
+		}
+		for i := 0; i < nBig; i++ {
+			kinds = append(kinds, Big)
+		}
+		name += "-lf" // little-first ordering
+	}
+	return Config{Name: name, Kinds: kinds}
+}
+
+// NumCores returns the total core count.
+func (c Config) NumCores() int { return len(c.Kinds) }
+
+// NumBig returns the number of big cores.
+func (c Config) NumBig() int {
+	n := 0
+	for _, k := range c.Kinds {
+		if k == Big {
+			n++
+		}
+	}
+	return n
+}
+
+// NumLittle returns the number of little cores.
+func (c Config) NumLittle() int { return c.NumCores() - c.NumBig() }
+
+// BigIndices returns the core indices that are big cores, in order.
+func (c Config) BigIndices() []int {
+	var out []int
+	for i, k := range c.Kinds {
+		if k == Big {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LittleIndices returns the core indices that are little cores, in order.
+func (c Config) LittleIndices() []int {
+	var out []int
+	for i, k := range c.Kinds {
+		if k == Little {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Spec returns the core spec for core index i.
+func (c Config) Spec(i int) Spec {
+	if c.Kinds[i] == Big {
+		return BigSpec
+	}
+	return LittleSpec
+}
+
+// AllBig returns the metric-baseline variant of c: the same number of cores,
+// all big. H_ANTT / H_STP / H_NTT normalise against runtimes measured alone
+// on a big-only system (§5.1 "Metrics").
+func (c Config) AllBig() Config {
+	kinds := make([]Kind, len(c.Kinds))
+	for i := range kinds {
+		kinds[i] = Big
+	}
+	return Config{Name: c.Name + "-allbig", Kinds: kinds}
+}
+
+// NewSymmetric builds an n-core machine of a single core kind — the
+// symmetric big-only / little-only configurations the speedup model is
+// trained on (§4.1) and the all-big metric baseline runs on.
+func NewSymmetric(kind Kind, n int) Config {
+	kinds := make([]Kind, n)
+	for i := range kinds {
+		kinds[i] = kind
+	}
+	return Config{Name: fmt.Sprintf("%d%s", n, kind), Kinds: kinds}
+}
+
+// The four evaluated platform shapes (§5.1): xB yS = x big + y little cores.
+var (
+	Config2B2S = NewConfig(2, 2, true)
+	Config2B4S = NewConfig(2, 4, true)
+	Config4B2S = NewConfig(4, 2, true)
+	Config4B4S = NewConfig(4, 4, true)
+)
+
+// EvaluatedConfigs lists the four platform shapes in paper order.
+func EvaluatedConfigs() []Config {
+	return []Config{Config2B2S, Config2B4S, Config4B2S, Config4B4S}
+}
+
+// ConfigByName returns the evaluated config with the given name (for CLI
+// tools), or false.
+func ConfigByName(name string) (Config, bool) {
+	for _, c := range EvaluatedConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,34 @@
+package cpu
+
+import "colab/internal/sim"
+
+// PowerModel assigns busy/idle power draw to each core type. The defaults
+// approximate per-core figures reported for Cortex-A57 (big) and
+// Cortex-A53 (little) at the simulated clocks. The paper motivates AMPs
+// with energy-limited devices but reports no energy numbers; this model is
+// an extension that lets the harness compare the schedulers' energy and
+// energy-delay product on identical workloads.
+type PowerModel struct {
+	BigBusyW    float64
+	BigIdleW    float64
+	LittleBusyW float64
+	LittleIdleW float64
+}
+
+// DefaultPower is the standard big.LITTLE-like power model.
+var DefaultPower = PowerModel{
+	BigBusyW:    1.80,
+	BigIdleW:    0.12,
+	LittleBusyW: 0.45,
+	LittleIdleW: 0.03,
+}
+
+// CoreEnergyJ returns the energy in joules consumed by one core of the
+// given kind that was busy and idle for the given durations.
+func (p PowerModel) CoreEnergyJ(kind Kind, busy, idle sim.Time) float64 {
+	busyW, idleW := p.LittleBusyW, p.LittleIdleW
+	if kind == Big {
+		busyW, idleW = p.BigBusyW, p.BigIdleW
+	}
+	return busyW*busy.Seconds() + idleW*idle.Seconds()
+}

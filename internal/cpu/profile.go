@@ -1,0 +1,76 @@
+package cpu
+
+import "colab/internal/mathx"
+
+// WorkProfile is the hidden microarchitectural character of a thread's
+// compute work. It is ground truth known only to the simulator; schedulers
+// observe it indirectly through the synthetic performance counters.
+//
+// All fields are dimensionless in [0, 1] except BranchRate (branches per
+// instruction, realistically <= ~0.3).
+type WorkProfile struct {
+	// ILP is exploitable instruction-level parallelism. High-ILP code gains
+	// the most from the out-of-order big core.
+	ILP float64
+	// BranchRate is branches per instruction. Branchy code benefits from the
+	// big core's predictor but suffers on the in-order little core.
+	BranchRate float64
+	// MemIntensity is pressure on the memory hierarchy. Memory-bound work
+	// gains little from a faster pipeline.
+	MemIntensity float64
+	// StoreRate is store-queue pressure (drives rename.SQFullEvents).
+	StoreRate float64
+	// FPRate is the floating-point fraction of the instruction mix.
+	FPRate float64
+	// CodeFootprint is instruction-cache pressure (drives icache stalls).
+	CodeFootprint float64
+}
+
+// Clamp returns the profile with all fields limited to their valid ranges.
+func (p WorkProfile) Clamp() WorkProfile {
+	p.ILP = mathx.Clamp(p.ILP, 0, 1)
+	p.BranchRate = mathx.Clamp(p.BranchRate, 0, 0.3)
+	p.MemIntensity = mathx.Clamp(p.MemIntensity, 0, 1)
+	p.StoreRate = mathx.Clamp(p.StoreRate, 0, 1)
+	p.FPRate = mathx.Clamp(p.FPRate, 0, 1)
+	p.CodeFootprint = mathx.Clamp(p.CodeFootprint, 0, 1)
+	return p
+}
+
+// TrueSpeedup is the factor by which a big core retires this work faster
+// than a little core. It composes the 1.67x clock ratio with a
+// microarchitectural factor: out-of-order execution pays off for high-ILP,
+// branchy, cache-friendly code and is wasted on memory-bound code.
+// The result lands in roughly [1.1, 2.8], matching the spread big.LITTLE
+// studies report.
+func (p WorkProfile) TrueSpeedup() float64 {
+	p = p.Clamp()
+	uarch := 1.0 +
+		0.55*p.ILP + // OoO window exploits independent instructions
+		0.20*(p.BranchRate/0.3) - // better predictor + speculation depth
+		0.45*p.MemIntensity - // memory wall: frequency does not help
+		0.10*p.CodeFootprint // the bigger L1I helps, but front-end stalls cap gains
+	uarch = mathx.Clamp(uarch, 0.70, 1.70)
+	return mathx.Clamp(FreqRatio*uarch, 1.05, 2.85)
+}
+
+// ExecRate returns the work units retired per nanosecond on a core of the
+// given kind. Work is calibrated so a little core retires exactly 1 unit/ns;
+// a big core retires TrueSpeedup units/ns. Segment durations in the workload
+// DSL are therefore expressed directly as "nanoseconds on a little core".
+func (p WorkProfile) ExecRate(k Kind) float64 {
+	if k == Big {
+		return p.TrueSpeedup()
+	}
+	return 1.0
+}
+
+// InstPerWorkUnit converts work units to retired instructions for counter
+// synthesis: a little core at 1.2 GHz with the profile-dependent IPC.
+func (p WorkProfile) InstPerWorkUnit() float64 {
+	p = p.Clamp()
+	// In-order IPC model: base 0.9, helped by ILP up to ~1.3, hurt by
+	// memory stalls down to ~0.4.
+	ipc := mathx.Clamp(0.9+0.4*p.ILP-0.5*p.MemIntensity, 0.35, 1.35)
+	return ipc * (float64(LittleSpec.FreqMHz) / 1000.0) // instructions per ns of little-core time
+}

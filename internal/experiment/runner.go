@@ -1,0 +1,356 @@
+// Package experiment is the evaluation harness: it reproduces the paper's
+// 312-simulation matrix (26 Table 4 workloads x 4 hardware configs x 3
+// schedulers, each averaged over big-first and little-first core orders),
+// the Figure 4 single-program study, the Figure 8/9 regroupings, and the
+// design-choice ablations.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/metrics"
+	"colab/internal/perfmodel"
+	"colab/internal/sched/cfs"
+	"colab/internal/sched/colab"
+	"colab/internal/sched/eas"
+	"colab/internal/sched/gts"
+	"colab/internal/sched/wash"
+	"colab/internal/sim"
+	"colab/internal/task"
+	"colab/internal/workload"
+)
+
+// Scheduler kinds the harness can instantiate.
+const (
+	SchedLinux = "linux"
+	SchedWASH  = "wash"
+	SchedCOLAB = "colab"
+	SchedGTS   = "gts"
+	SchedEAS   = "eas"
+	// Ablation variants of COLAB (DESIGN.md §4).
+	SchedCOLABNoScale = "colab-noscale" // scale-slice fairness off
+	SchedCOLABLocal   = "colab-local"   // biased-global selector off
+	SchedCOLABFlat    = "colab-flat"    // hierarchical allocator off
+	SchedCOLABNoPull  = "colab-nopull"  // big-pulls-little off
+	SchedCOLABOracle  = "colab-oracle"  // ground-truth speedup predictor
+)
+
+// PaperSchedulers are the three schedulers of the paper's evaluation.
+func PaperSchedulers() []string { return []string{SchedLinux, SchedWASH, SchedCOLAB} }
+
+// AblationSchedulers are the extension comparison points.
+func AblationSchedulers() []string {
+	return []string{SchedCOLAB, SchedCOLABNoScale, SchedCOLABLocal, SchedCOLABFlat, SchedCOLABNoPull, SchedCOLABOracle, SchedGTS, SchedEAS}
+}
+
+// Runner executes and memoises simulations. It is safe for concurrent use;
+// the heavy entry points fan out over a worker pool internally.
+type Runner struct {
+	// Speedup is the online predictor given to the AMP-aware schedulers.
+	// Defaults to the lazily trained standard model.
+	Speedup func(*task.Thread) float64
+	// Seed drives workload generation. Two core orders of the same seed
+	// form one experiment.
+	Seed uint64
+	// Params forwards kernel costs.
+	Params kernel.Params
+	// Workers bounds run parallelism (0 = GOMAXPROCS).
+	Workers int
+
+	mu        sync.Mutex
+	baselines map[string]sim.Time
+	mixes     map[string]metrics.MixScore
+}
+
+// NewRunner returns a Runner using the standard trained speedup model.
+func NewRunner(seed uint64) (*Runner, error) {
+	model, err := perfmodel.Default()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: training default speedup model: %w", err)
+	}
+	return &Runner{
+		Speedup:   model.ThreadPredictor(),
+		Seed:      seed,
+		baselines: make(map[string]sim.Time),
+		mixes:     make(map[string]metrics.MixScore),
+	}, nil
+}
+
+// NewScheduler instantiates a policy by kind, wiring in the runner's
+// speedup predictor.
+func (r *Runner) NewScheduler(kind string) (kernel.Scheduler, error) {
+	switch kind {
+	case SchedLinux:
+		return cfs.New(cfs.Options{}), nil
+	case SchedWASH:
+		return wash.New(wash.Options{Speedup: r.Speedup}), nil
+	case SchedCOLAB:
+		return colab.New(colab.Options{Speedup: r.Speedup}), nil
+	case SchedGTS:
+		return gts.New(gts.Options{}), nil
+	case SchedEAS:
+		return eas.New(eas.Options{}), nil
+	case SchedCOLABNoScale:
+		return colab.New(colab.Options{Speedup: r.Speedup, DisableScaleSlice: true}), nil
+	case SchedCOLABLocal:
+		return colab.New(colab.Options{Speedup: r.Speedup, LocalOnlySelector: true}), nil
+	case SchedCOLABFlat:
+		return colab.New(colab.Options{Speedup: r.Speedup, FlatAllocator: true}), nil
+	case SchedCOLABNoPull:
+		return colab.New(colab.Options{Speedup: r.Speedup, DisablePull: true}), nil
+	case SchedCOLABOracle:
+		return colab.New(colab.Options{Speedup: perfmodel.Oracle()}), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheduler kind %q", kind)
+	}
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// run executes one workload on one machine variant.
+func (r *Runner) run(cfg cpu.Config, kind string, w *task.Workload) (*kernel.Result, error) {
+	s, err := r.NewScheduler(kind)
+	if err != nil {
+		return nil, err
+	}
+	m, err := kernel.NewMachine(cfg, s, w, r.Params)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// ---------------------------------------------------------------------------
+// Baselines: each app of a composition alone on the all-big variant.
+
+// appAlone rebuilds the composition and isolates app appIdx, preserving the
+// exact thread programs/profiles the app has inside the mix.
+func appAlone(comp workload.Composition, appIdx int, seed uint64) (*task.Workload, error) {
+	w, err := comp.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	if appIdx < 0 || appIdx >= len(w.Apps) {
+		return nil, fmt.Errorf("experiment: app index %d out of range for %s", appIdx, comp.Index)
+	}
+	app := w.Apps[appIdx]
+	return &task.Workload{Name: comp.Index + "/" + app.Name, Apps: []*task.App{app}}, nil
+}
+
+// baselineBig returns (cached) the turnaround of composition app appIdx
+// running alone on an all-big machine with the same core count as cfg.
+func (r *Runner) baselineBig(comp workload.Composition, appIdx int, cfg cpu.Config) (sim.Time, error) {
+	n := cfg.NumCores()
+	key := fmt.Sprintf("%s|%d|%d|%d", comp.Index, appIdx, n, r.Seed)
+	r.mu.Lock()
+	if v, ok := r.baselines[key]; ok {
+		r.mu.Unlock()
+		return v, nil
+	}
+	r.mu.Unlock()
+	w, err := appAlone(comp, appIdx, r.Seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.run(cpu.NewSymmetric(cpu.Big, n), SchedLinux, w)
+	if err != nil {
+		return 0, fmt.Errorf("experiment: baseline %s app %d: %w", comp.Index, appIdx, err)
+	}
+	v := res.Apps[0].Turnaround
+	r.mu.Lock()
+	r.baselines[key] = v
+	r.mu.Unlock()
+	return v, nil
+}
+
+// ---------------------------------------------------------------------------
+// Mix experiments.
+
+// MixScore returns the H_ANTT / H_STP of one (workload, config, scheduler)
+// cell, averaged over the two core orders, memoised.
+func (r *Runner) MixScore(comp workload.Composition, cfg cpu.Config, kind string) (metrics.MixScore, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d", comp.Index, cfg.Name, kind, r.Seed)
+	r.mu.Lock()
+	if v, ok := r.mixes[key]; ok {
+		r.mu.Unlock()
+		return v, nil
+	}
+	r.mu.Unlock()
+
+	bases := make([]sim.Time, len(comp.Parts))
+	for i := range comp.Parts {
+		b, err := r.baselineBig(comp, i, cfg)
+		if err != nil {
+			return metrics.MixScore{}, err
+		}
+		bases[i] = b
+	}
+	var total metrics.MixScore
+	orders := []bool{true, false} // big-first, little-first (§5.1)
+	for _, bigFirst := range orders {
+		variant := cpu.NewConfig(cfg.NumBig(), cfg.NumLittle(), bigFirst)
+		w, err := comp.Build(r.Seed)
+		if err != nil {
+			return metrics.MixScore{}, err
+		}
+		res, err := r.run(variant, kind, w)
+		if err != nil {
+			return metrics.MixScore{}, fmt.Errorf("experiment: %s on %s under %s: %w", comp.Index, variant.Name, kind, err)
+		}
+		score, err := metrics.Score(res, func(i int, _ kernel.AppResult) sim.Time { return bases[i] })
+		if err != nil {
+			return metrics.MixScore{}, err
+		}
+		total.HANTT += score.HANTT / float64(len(orders))
+		total.HSTP += score.HSTP / float64(len(orders))
+	}
+	r.mu.Lock()
+	r.mixes[key] = total
+	r.mu.Unlock()
+	return total, nil
+}
+
+// Cell is one (workload, config, scheduler) outcome normalised to Linux.
+type Cell struct {
+	Workload string
+	Class    workload.Class
+	Config   string
+	Sched    string
+	Raw      metrics.MixScore
+	Norm     metrics.MixScore // relative to Linux on the same workload+config
+}
+
+// RunMatrix evaluates the given compositions x configs x schedulers in
+// parallel and returns one Cell per combination. Linux cells carry
+// Norm = {1, 1}.
+func (r *Runner) RunMatrix(comps []workload.Composition, cfgs []cpu.Config, kinds []string) ([]Cell, error) {
+	type job struct {
+		comp workload.Composition
+		cfg  cpu.Config
+		kind string
+	}
+	var jobs []job
+	for _, c := range comps {
+		for _, cfg := range cfgs {
+			// Linux first so the normalisation reference is always present.
+			seen := map[string]bool{}
+			for _, k := range append([]string{SchedLinux}, kinds...) {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				jobs = append(jobs, job{c, cfg, k})
+			}
+		}
+	}
+	sem := make(chan struct{}, r.workers())
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, errs[i] = r.MixScore(j.comp, j.cfg, j.kind)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var cells []Cell
+	for _, c := range comps {
+		for _, cfg := range cfgs {
+			ref, err := r.MixScore(c, cfg, SchedLinux)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range kinds {
+				raw, err := r.MixScore(c, cfg, k)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, Cell{
+					Workload: c.Index,
+					Class:    c.Class,
+					Config:   cfg.Name,
+					Sched:    k,
+					Raw:      raw,
+					Norm:     metrics.Normalized(raw, ref),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// ---------------------------------------------------------------------------
+// Single-program experiments (Figure 4).
+
+// SingleScore is one benchmark's H_NTT under one scheduler.
+type SingleScore struct {
+	Bench string
+	Sched string
+	HNTT  float64
+}
+
+// singleBaseline caches the big-only-alone turnaround of a single-program
+// workload.
+func (r *Runner) singleBaseline(bench string, threads, cores int) (sim.Time, error) {
+	key := fmt.Sprintf("single|%s|%d|%d|%d", bench, threads, cores, r.Seed)
+	r.mu.Lock()
+	if v, ok := r.baselines[key]; ok {
+		r.mu.Unlock()
+		return v, nil
+	}
+	r.mu.Unlock()
+	w, err := workload.SingleProgram(bench, threads, r.Seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.run(cpu.NewSymmetric(cpu.Big, cores), SchedLinux, w)
+	if err != nil {
+		return 0, err
+	}
+	v := res.Apps[0].Turnaround
+	r.mu.Lock()
+	r.baselines[key] = v
+	r.mu.Unlock()
+	return v, nil
+}
+
+// SingleProgram evaluates one benchmark alone on cfg under kind, averaged
+// over core orders, returning H_NTT.
+func (r *Runner) SingleProgram(bench string, threads int, cfg cpu.Config, kind string) (SingleScore, error) {
+	base, err := r.singleBaseline(bench, threads, cfg.NumCores())
+	if err != nil {
+		return SingleScore{}, err
+	}
+	var hntt float64
+	orders := []bool{true, false}
+	for _, bigFirst := range orders {
+		variant := cpu.NewConfig(cfg.NumBig(), cfg.NumLittle(), bigFirst)
+		w, err := workload.SingleProgram(bench, threads, r.Seed)
+		if err != nil {
+			return SingleScore{}, err
+		}
+		res, err := r.run(variant, kind, w)
+		if err != nil {
+			return SingleScore{}, fmt.Errorf("experiment: single %s on %s under %s: %w", bench, variant.Name, kind, err)
+		}
+		hntt += metrics.HNTT(res.Apps[0].Turnaround, base) / float64(len(orders))
+	}
+	return SingleScore{Bench: bench, Sched: kind, HNTT: hntt}, nil
+}

@@ -1,0 +1,45 @@
+package kernel
+
+import (
+	"fmt"
+
+	"colab/internal/cpu"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// Core is one simulated CPU. Execution state is kernel-owned; policies read
+// ID/Kind and query Current.
+type Core struct {
+	ID   int
+	Kind cpu.Kind
+	Spec cpu.Spec
+
+	// Current is the thread occupying the core (nil when idle).
+	Current *task.Thread
+
+	// Burst state (kernel-internal).
+	burstEv    *sim.Event // pending burst-end event
+	burstStart sim.Time   // when useful execution began (after switch costs)
+	burstRun   sim.Time   // planned execution length of the burst
+	sliceEnd   sim.Time   // absolute time the current slice expires
+
+	reschedPending bool
+	lastThread     *task.Thread // last thread that ran (to skip switch cost)
+
+	// Accounting.
+	BusyTime   sim.Time
+	IdleTime   sim.Time
+	idleSince  sim.Time
+	wasIdle    bool
+	Dispatches int
+}
+
+// FreqGHz returns the core clock in cycles per nanosecond.
+func (c *Core) FreqGHz() float64 { return float64(c.Spec.FreqMHz) / 1000.0 }
+
+// IsIdle reports whether no thread occupies the core.
+func (c *Core) IsIdle() bool { return c.Current == nil }
+
+// String identifies the core.
+func (c *Core) String() string { return fmt.Sprintf("cpu%d(%s)", c.ID, c.Kind) }

@@ -1,0 +1,192 @@
+package kernel
+
+import (
+	"fmt"
+
+	"colab/internal/task"
+)
+
+// The futex layer reproduces the paper's bottleneck identification (§4.1):
+// every synchronisation primitive funnels through kernel wait queues; a
+// waiter records its wait start (futex_wait_queue_me) and the thread that
+// releases it accumulates the waiting period it ended (wake_futex). The
+// accumulated "time this thread made others wait" is the criticality /
+// blocking metric both WASH and COLAB consume.
+
+type fkey struct {
+	app int
+	id  int
+}
+
+// flock is a futex-backed mutex with FIFO handoff.
+type flock struct {
+	owner   *task.Thread
+	waiters []*task.Thread
+}
+
+// fbarrier collects arrivals until the party count is met.
+type fbarrier struct {
+	arrived []*task.Thread
+}
+
+// fqueue is a bounded FIFO used by pipeline benchmarks.
+type fqueue struct {
+	capacity   int
+	items      int
+	getWaiters []*task.Thread
+	putWaiters []*task.Thread
+}
+
+type futexTable struct {
+	locks    map[fkey]*flock
+	barriers map[fkey]*fbarrier
+	queues   map[fkey]*fqueue
+}
+
+func newFutexTable() *futexTable {
+	return &futexTable{
+		locks:    make(map[fkey]*flock),
+		barriers: make(map[fkey]*fbarrier),
+		queues:   make(map[fkey]*fqueue),
+	}
+}
+
+func (ft *futexTable) lock(k fkey) *flock {
+	l := ft.locks[k]
+	if l == nil {
+		l = &flock{}
+		ft.locks[k] = l
+	}
+	return l
+}
+
+func (ft *futexTable) barrier(k fkey) *fbarrier {
+	b := ft.barriers[k]
+	if b == nil {
+		b = &fbarrier{}
+		ft.barriers[k] = b
+	}
+	return b
+}
+
+func (ft *futexTable) queue(k fkey, m *Machine) *fqueue {
+	q := ft.queues[k]
+	if q == nil {
+		capacity := 1
+		// Look up the declared capacity on the owning app.
+		for _, a := range m.workload.Apps {
+			if a.ID == k.app {
+				for _, qs := range a.Queues {
+					if qs.ID == k.id {
+						capacity = qs.Capacity
+					}
+				}
+			}
+		}
+		if capacity < 1 {
+			capacity = 1
+		}
+		q = &fqueue{capacity: capacity}
+		ft.queues[k] = q
+	}
+	return q
+}
+
+// opKey scopes a synchronisation ID to the thread's application.
+func opKey(t *task.Thread, id int) fkey { return fkey{app: t.App.ID, id: id} }
+
+// doLock executes a Lock op for t. It reports whether t blocked.
+func (m *Machine) doLock(t *task.Thread, id int) bool {
+	l := m.futexes.lock(opKey(t, id))
+	if l.owner == nil {
+		// Uncontested: user-space atomic, no kernel involvement (§4.1).
+		l.owner = t
+		t.PC++
+		return false
+	}
+	l.waiters = append(l.waiters, t)
+	m.blockThread(t)
+	return true
+}
+
+// doUnlock executes an Unlock op for t, waking the first waiter with direct
+// lock handoff and charging t the waiter's full waiting period.
+func (m *Machine) doUnlock(t *task.Thread, id int) {
+	l := m.futexes.lock(opKey(t, id))
+	if l.owner != t {
+		panic(fmt.Sprintf("kernel: %v unlocks futex %d it does not hold", t, id))
+	}
+	l.owner = nil
+	t.PC++
+	if len(l.waiters) > 0 {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.owner = w
+		m.wakeThread(w, t)
+	}
+}
+
+// doBarrier executes a Barrier op. The last arriver releases everyone and is
+// blamed for the full accumulated waiting time (it is the thread the others
+// were critically waiting on).
+func (m *Machine) doBarrier(t *task.Thread, id, parties int) bool {
+	if parties <= 1 {
+		t.PC++
+		return false
+	}
+	b := m.futexes.barrier(opKey(t, id))
+	if len(b.arrived)+1 >= parties {
+		waiters := b.arrived
+		b.arrived = nil
+		t.PC++
+		for _, w := range waiters {
+			m.wakeThread(w, t)
+		}
+		return false
+	}
+	b.arrived = append(b.arrived, t)
+	m.blockThread(t)
+	return true
+}
+
+// doPut executes a bounded-queue produce. It reports whether t blocked.
+func (m *Machine) doPut(t *task.Thread, id int) bool {
+	q := m.futexes.queue(opKey(t, id), m)
+	if len(q.getWaiters) > 0 {
+		// Direct handoff to a starving consumer; the producer ended its wait.
+		w := q.getWaiters[0]
+		q.getWaiters = q.getWaiters[1:]
+		t.PC++
+		m.wakeThread(w, t)
+		return false
+	}
+	if q.items < q.capacity {
+		q.items++
+		t.PC++
+		return false
+	}
+	q.putWaiters = append(q.putWaiters, t)
+	m.blockThread(t)
+	return true
+}
+
+// doGet executes a bounded-queue consume. It reports whether t blocked.
+func (m *Machine) doGet(t *task.Thread, id int) bool {
+	q := m.futexes.queue(opKey(t, id), m)
+	if len(q.putWaiters) > 0 {
+		// A producer was blocked on a full queue: take its item directly.
+		w := q.putWaiters[0]
+		q.putWaiters = q.putWaiters[1:]
+		t.PC++
+		m.wakeThread(w, t)
+		return false
+	}
+	if q.items > 0 {
+		q.items--
+		t.PC++
+		return false
+	}
+	q.getWaiters = append(q.getWaiters, t)
+	m.blockThread(t)
+	return true
+}

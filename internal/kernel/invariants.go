@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"fmt"
+
+	"colab/internal/task"
+)
+
+// CheckInvariants inspects live machine state and returns a description of
+// every violated structural invariant (empty when consistent). Tests call
+// it from trace callbacks to validate the simulation continuously; it is
+// never called on the hot path.
+//
+// Invariants:
+//  1. A core's Current thread is Running and believes it is on that core.
+//  2. No two cores run the same thread.
+//  3. Every Running thread is some core's Current.
+//  4. The live-thread count equals the number of non-Done threads.
+//  5. Done threads have a finish time and no residual work.
+//  6. Accounting totals are non-negative and blocked threads have a wait
+//     start no later than now.
+func (m *Machine) CheckInvariants() []string {
+	var violations []string
+	seen := make(map[*task.Thread]int)
+	for _, c := range m.cores {
+		t := c.Current
+		if t == nil {
+			continue
+		}
+		if t.State != task.Running {
+			violations = append(violations, fmt.Sprintf("cpu%d current %v in state %v", c.ID, t, t.State))
+		}
+		if t.CoreID != c.ID {
+			violations = append(violations, fmt.Sprintf("cpu%d current %v claims core %d", c.ID, t, t.CoreID))
+		}
+		if prev, dup := seen[t]; dup {
+			violations = append(violations, fmt.Sprintf("%v running on both cpu%d and cpu%d", t, prev, c.ID))
+		}
+		seen[t] = c.ID
+	}
+	alive := 0
+	now := m.eng.Now()
+	for _, t := range m.workload.Threads() {
+		switch t.State {
+		case task.Done:
+			if t.FinishTime <= 0 && now > 0 {
+				violations = append(violations, fmt.Sprintf("%v done without finish time", t))
+			}
+			if t.Remaining > workEpsilon {
+				violations = append(violations, fmt.Sprintf("%v done with %v work left", t, t.Remaining))
+			}
+			continue
+		case task.Running:
+			if _, ok := seen[t]; !ok {
+				violations = append(violations, fmt.Sprintf("%v running but on no core", t))
+			}
+		case task.Blocked:
+			if t.WaitStart > now {
+				violations = append(violations, fmt.Sprintf("%v blocked with future wait start %v", t, t.WaitStart))
+			}
+		}
+		alive++
+		if t.SumExec < 0 || t.BlockedTime < 0 || t.BlockBlame < 0 || t.ReadyTime < 0 {
+			violations = append(violations, fmt.Sprintf("%v has negative accounting", t))
+		}
+	}
+	if alive != m.live {
+		violations = append(violations, fmt.Sprintf("live count %d, but %d threads not done", m.live, alive))
+	}
+	return violations
+}

@@ -1,0 +1,537 @@
+package kernel
+
+import (
+	"fmt"
+
+	"colab/internal/cpu"
+	"colab/internal/mathx"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// workEpsilon is the residual work (in little-core nanoseconds) below which
+// a compute segment counts as retired; it absorbs float rounding from the
+// rate division.
+const workEpsilon = 1e-6
+
+// Machine wires a hardware config, a scheduling policy and a workload into
+// one deterministic simulation.
+type Machine struct {
+	eng      *sim.Engine
+	config   cpu.Config
+	cores    []*Core
+	sched    Scheduler
+	workload *task.Workload
+	futexes  *futexTable
+	ctrRNG   *mathx.RNG
+	params   Params
+
+	live   int
+	done   bool
+	tracer func(TraceEvent)
+
+	bigIDs    []int
+	littleIDs []int
+}
+
+// NewMachine builds a machine. The workload's threads must be freshly
+// generated (state New); a workload instance cannot be reused across runs.
+func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params) (*Machine, error) {
+	if cfg.NumCores() == 0 {
+		return nil, fmt.Errorf("kernel: config %q has no cores", cfg.Name)
+	}
+	if cfg.NumCores() > 64 {
+		return nil, fmt.Errorf("kernel: config %q has %d cores; affinity masks support 64", cfg.Name, cfg.NumCores())
+	}
+	if len(w.Apps) == 0 {
+		return nil, fmt.Errorf("kernel: workload %q has no apps", w.Name)
+	}
+	params = params.withDefaults()
+	m := &Machine{
+		eng:       sim.NewEngine(),
+		config:    cfg,
+		sched:     sched,
+		workload:  w,
+		futexes:   newFutexTable(),
+		ctrRNG:    mathx.NewRNG(params.CounterNoiseSeed),
+		params:    params,
+		bigIDs:    cfg.BigIndices(),
+		littleIDs: cfg.LittleIndices(),
+	}
+	for i, kind := range cfg.Kinds {
+		m.cores = append(m.cores, &Core{ID: i, Kind: kind, Spec: cfg.Spec(i), wasIdle: true})
+	}
+	id := 0
+	for _, a := range w.Apps {
+		if len(a.Threads) == 0 {
+			return nil, fmt.Errorf("kernel: app %q has no threads", a.Name)
+		}
+		for _, t := range a.Threads {
+			if t.State != task.New {
+				return nil, fmt.Errorf("kernel: thread %v reused (state %v); regenerate the workload", t, t.State)
+			}
+			t.ID = id
+			id++
+			t.CoreID = -1
+			if t.Affinity == 0 {
+				t.Affinity = task.AffinityAll
+			}
+			m.live++
+		}
+	}
+	return m, nil
+}
+
+// Engine exposes the event engine (policies schedule periodic labeling on it).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Now returns the current simulated time.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// Config returns the hardware configuration.
+func (m *Machine) Config() cpu.Config { return m.config }
+
+// Cores returns the simulated cores (do not mutate).
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// BigCoreIDs returns indices of big cores in core order.
+func (m *Machine) BigCoreIDs() []int { return m.bigIDs }
+
+// LittleCoreIDs returns indices of little cores in core order.
+func (m *Machine) LittleCoreIDs() []int { return m.littleIDs }
+
+// Workload returns the workload under simulation.
+func (m *Machine) Workload() *task.Workload { return m.workload }
+
+// Done reports whether every thread retired.
+func (m *Machine) Done() bool { return m.done }
+
+// Kick asks core to re-run thread selection (deferred to the next event).
+// Policies call it after moving queued threads around outside the normal
+// Enqueue path, e.g. on affinity relabeling.
+func (m *Machine) Kick(core int) {
+	if core >= 0 && core < len(m.cores) && m.cores[core].Current == nil {
+		m.resched(m.cores[core])
+	}
+}
+
+// KickIdle re-runs selection on every idle core.
+func (m *Machine) KickIdle() {
+	for _, c := range m.cores {
+		if c.Current == nil {
+			m.resched(c)
+		}
+	}
+}
+
+// Run admits all applications at time zero, drives the simulation to
+// completion and returns the result. It fails when the event budget is
+// exhausted or the system deadlocks (threads alive with no pending events).
+func (m *Machine) Run() (*Result, error) {
+	m.sched.Start(m)
+	for _, a := range m.workload.Apps {
+		a.StartTime = 0
+		for _, t := range a.Threads {
+			m.sched.Admit(t)
+		}
+	}
+	// Admit threads: process leading sync ops; enqueue the runnable ones.
+	for _, t := range m.workload.Threads() {
+		switch m.advance(t) {
+		case statusDone:
+			m.finishThread(t)
+		case statusBlocked:
+			// Blocked at birth (e.g. pipeline consumer on an empty queue).
+		case statusCompute:
+			m.makeReady(t, false)
+		}
+	}
+	for _, c := range m.cores {
+		m.resched(c)
+	}
+	m.eng.Run(m.params.MaxEvents)
+	if !m.done {
+		if m.eng.Pending() == 0 {
+			return nil, fmt.Errorf("kernel: deadlock in %q under %s: %d threads alive with no pending events",
+				m.workload.Name, m.sched.Name(), m.live)
+		}
+		return nil, fmt.Errorf("kernel: event budget %d exhausted for %q under %s at %v",
+			m.params.MaxEvents, m.workload.Name, m.sched.Name(), m.eng.Now())
+	}
+	return m.buildResult(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Thread advancement through program ops (zero simulated time).
+
+type threadStatus int
+
+const (
+	statusCompute threadStatus = iota // current op is Compute with work left
+	statusBlocked
+	statusDone
+)
+
+// advance consumes non-compute ops until the thread reaches a compute
+// segment, blocks or retires.
+func (m *Machine) advance(t *task.Thread) threadStatus {
+	for {
+		op := t.CurrentOp()
+		if op == nil {
+			return statusDone
+		}
+		switch o := op.(type) {
+		case task.Compute:
+			if o.Work <= workEpsilon {
+				t.Remaining = 0
+				t.PC++
+				continue
+			}
+			if t.Remaining <= 0 {
+				t.Remaining = o.Work
+			}
+			return statusCompute
+		case task.Lock:
+			if m.doLock(t, o.ID) {
+				return statusBlocked
+			}
+		case task.Unlock:
+			m.doUnlock(t, o.ID)
+		case task.Barrier:
+			if m.doBarrier(t, o.ID, o.Parties) {
+				return statusBlocked
+			}
+		case task.Put:
+			if m.doPut(t, o.ID) {
+				return statusBlocked
+			}
+		case task.Get:
+			if m.doGet(t, o.ID) {
+				return statusBlocked
+			}
+		case task.Sleep:
+			m.doSleep(t, o.Duration)
+			return statusBlocked
+		case task.Phase:
+			t.Profile = o.Profile.Clamp()
+			t.PC++
+		default:
+			panic(fmt.Sprintf("kernel: unknown op %T in %v", op, t))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Blocking and waking.
+
+func (m *Machine) blockThread(t *task.Thread) {
+	t.State = task.Blocked
+	t.WaitStart = m.eng.Now()
+	m.emit(TraceBlock, t.CoreID, t.String())
+}
+
+func (m *Machine) doSleep(t *task.Thread, d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	m.blockThread(t)
+	m.eng.After(d, func() {
+		if t.State == task.Blocked {
+			m.wakeThread(t, nil)
+		}
+	})
+}
+
+// wakeThread ends t's futex wait. blamer, when non-nil, is the thread that
+// released the wait and accumulates the waiting period (the paper's
+// criticality metric).
+func (m *Machine) wakeThread(t *task.Thread, blamer *task.Thread) {
+	now := m.eng.Now()
+	dur := now - t.WaitStart
+	t.BlockedTime += dur
+	if blamer != nil {
+		blamer.BlockBlame += dur
+	}
+	// The wait shows up as quiesce cycles on the thread's counters.
+	q := float64(dur) * float64(cpu.LittleSpec.FreqMHz) / 1000.0
+	t.TotalCounters[cpu.CtrQuiesceCycles] += q
+	t.IntervalCounters[cpu.CtrQuiesceCycles] += q
+	t.PC++ // the blocking op completed
+	m.emit(TraceWake, -1, t.String())
+	// Advance through the ops that follow: initialise the next compute
+	// segment, or block again, or retire.
+	switch m.advance(t) {
+	case statusCompute:
+		m.makeReady(t, true)
+	case statusBlocked:
+		// Re-blocked on the next op (e.g. chained barriers).
+	case statusDone:
+		m.finishThread(t)
+	}
+}
+
+// makeReady hands a runnable thread to the policy's core allocator and
+// kicks the affected cores. wakeup distinguishes real wake-ups (which may
+// preempt) from slice-rotation re-queues (which must not cascade).
+func (m *Machine) makeReady(t *task.Thread, wakeup bool) {
+	now := m.eng.Now()
+	t.State = task.Ready
+	t.MarkReadyAt(now)
+	target := m.sched.Enqueue(t, wakeup)
+	if target < 0 || target >= len(m.cores) {
+		panic(fmt.Sprintf("kernel: %s.Enqueue(%v) returned invalid core %d", m.sched.Name(), t, target))
+	}
+	tc := m.cores[target]
+	if tc.Current == nil {
+		m.resched(tc)
+	} else if wakeup {
+		m.deferPreemptCheck(tc, t)
+	}
+	// Work conservation: any idle core the thread may run on gets a chance
+	// to pick it (or anything else) up.
+	for _, c := range m.cores {
+		if c != tc && c.Current == nil && t.AllowedOn(c.ID) {
+			m.resched(c)
+		}
+	}
+}
+
+// deferPreemptCheck re-evaluates wake-up preemption after the current event
+// handler finishes, avoiding reentrant core mutation mid-advance.
+func (m *Machine) deferPreemptCheck(c *Core, t *task.Thread) {
+	m.eng.After(0, func() {
+		if m.done || t.State != task.Ready || c.Current == nil || c.Current == t {
+			return
+		}
+		if m.sched.WakeupPreempt(c, t) {
+			m.preemptCore(c)
+		}
+	})
+}
+
+// preemptCore stops the core's current thread and re-queues it.
+func (m *Machine) preemptCore(c *Core) {
+	t := c.Current
+	if t == nil {
+		m.resched(c)
+		return
+	}
+	m.stopBurst(c)
+	c.Current = nil
+	t.State = task.Ready
+	t.Preemptions++
+	m.emit(TracePreempt, c.ID, t.String())
+	m.makeReady(t, false)
+	m.resched(c)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and burst execution.
+
+func (m *Machine) resched(c *Core) {
+	if c.reschedPending || m.done {
+		return
+	}
+	c.reschedPending = true
+	m.eng.After(0, func() {
+		c.reschedPending = false
+		m.schedule(c)
+	})
+}
+
+func (m *Machine) schedule(c *Core) {
+	if m.done || c.Current != nil {
+		return
+	}
+	now := m.eng.Now()
+	t := m.sched.PickNext(c)
+	if t == nil {
+		if !c.wasIdle {
+			c.wasIdle = true
+			c.idleSince = now
+			m.emit(TraceIdle, c.ID, "")
+		}
+		return
+	}
+	switch t.State {
+	case task.Running:
+		// COLAB-style pull: the policy selected a thread running on another
+		// core (big preempts little). Stop it there and take it here.
+		if t.CoreID == c.ID || t.CoreID < 0 {
+			panic(fmt.Sprintf("kernel: %s.PickNext(%v) returned running thread %v on the same core", m.sched.Name(), c, t))
+		}
+		vc := m.cores[t.CoreID]
+		if vc.Current != t {
+			panic(fmt.Sprintf("kernel: %s.PickNext(%v) returned stale running thread %v", m.sched.Name(), c, t))
+		}
+		m.stopBurst(vc)
+		vc.Current = nil
+		t.Preemptions++
+		m.resched(vc)
+	case task.Ready:
+		t.AccrueReadyWait(now)
+	default:
+		panic(fmt.Sprintf("kernel: %s.PickNext(%v) returned thread %v in state %v", m.sched.Name(), c, t, t.State))
+	}
+	if c.wasIdle {
+		c.IdleTime += now - c.idleSince
+		c.wasIdle = false
+	}
+	var cost sim.Time
+	if c.lastThread != t {
+		cost += m.params.ContextSwitchCost
+		t.Switches++
+	}
+	if t.CoreID >= 0 && t.CoreID != c.ID {
+		cost += m.params.MigrationCost
+		t.Migrations++
+		m.emit(TraceMigrate, c.ID, t.String())
+	}
+	m.emit(TraceDispatch, c.ID, t.String())
+	c.Current = t
+	c.lastThread = t
+	t.State = task.Running
+	t.CoreID = c.ID
+	c.Dispatches++
+	slice := m.sched.TimeSlice(c, t)
+	if slice <= 0 {
+		slice = sim.Millisecond
+	}
+	c.sliceEnd = now + cost + slice
+	c.BusyTime += cost // switch overhead occupies the core
+	m.startBurst(c, cost)
+}
+
+// startBurst schedules the end of the next execution segment: the earlier
+// of compute completion and slice expiry.
+func (m *Machine) startBurst(c *Core, delay sim.Time) {
+	t := c.Current
+	now := m.eng.Now()
+	rate := t.Profile.ExecRate(c.Kind)
+	need := sim.Time(t.Remaining/rate) + 1 // ceil to whole ns
+	begin := now + delay
+	run := need
+	if end := c.sliceEnd - begin; run > end {
+		run = end
+	}
+	if run < 1 {
+		run = 1
+	}
+	c.burstStart = begin
+	c.burstRun = run
+	c.burstEv = m.eng.After(delay+run, func() { m.onBurstEnd(c) })
+}
+
+// stopBurst cancels the pending burst event and accrues any execution that
+// already happened.
+func (m *Machine) stopBurst(c *Core) {
+	if c.burstEv != nil {
+		m.eng.Cancel(c.burstEv)
+		c.burstEv = nil
+	}
+	t := c.Current
+	if t == nil {
+		return
+	}
+	now := m.eng.Now()
+	if now > c.burstStart {
+		elapsed := now - c.burstStart
+		if elapsed > c.burstRun {
+			elapsed = c.burstRun
+		}
+		m.accrueExec(c, t, elapsed)
+	}
+}
+
+func (m *Machine) onBurstEnd(c *Core) {
+	c.burstEv = nil
+	t := c.Current
+	if t == nil {
+		return
+	}
+	m.accrueExec(c, t, c.burstRun)
+	if t.Remaining <= workEpsilon {
+		if _, ok := t.CurrentOp().(task.Compute); ok {
+			t.Remaining = 0
+			t.PC++
+		}
+	}
+	switch m.advance(t) {
+	case statusDone:
+		c.Current = nil
+		m.finishThread(t)
+		m.resched(c)
+	case statusBlocked:
+		c.Current = nil
+		m.resched(c)
+	case statusCompute:
+		now := m.eng.Now()
+		if now >= c.sliceEnd {
+			// Slice expired: rotate through the policy.
+			c.Current = nil
+			t.State = task.Ready
+			m.emit(TraceRotate, c.ID, t.String())
+			m.makeReady(t, false)
+			m.resched(c)
+			return
+		}
+		m.continueBurst(c)
+	}
+}
+
+func (m *Machine) continueBurst(c *Core) {
+	m.startBurst(c, 0)
+}
+
+// accrueExec charges d nanoseconds of execution on c to t: work retired,
+// vruntime growth (policy-scaled), busy time, and synthetic counters.
+func (m *Machine) accrueExec(c *Core, t *task.Thread, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	rate := t.Profile.ExecRate(c.Kind)
+	work := float64(d) * rate
+	if work > t.Remaining {
+		work = t.Remaining
+	}
+	t.Remaining -= work
+	if t.Remaining < workEpsilon {
+		t.Remaining = 0
+	}
+	t.WorkDone += work
+	t.SumExec += d
+	if c.Kind == cpu.Big {
+		t.SumExecBig += d
+	}
+	scale := m.sched.VRuntimeScale(c, t)
+	if scale <= 0 {
+		scale = 1
+	}
+	t.VRuntime += sim.Time(float64(d) * scale)
+	c.BusyTime += d
+	cycles := float64(d) * c.FreqGHz()
+	vec := cpu.SampleCounters(m.ctrRNG, t.Profile, c.Kind, work, cycles, 0)
+	t.TotalCounters.Add(vec)
+	t.IntervalCounters.Add(vec)
+}
+
+func (m *Machine) finishThread(t *task.Thread) {
+	now := m.eng.Now()
+	t.State = task.Done
+	t.FinishTime = now
+	m.emit(TraceDone, t.CoreID, t.String())
+	t.App.NoteThreadDone(now)
+	m.sched.ThreadDone(t)
+	m.live--
+	if m.live == 0 {
+		m.done = true
+		// Close out idle accounting before the engine stops.
+		for _, c := range m.cores {
+			if c.wasIdle {
+				c.IdleTime += now - c.idleSince
+				c.wasIdle = false
+			}
+		}
+		m.eng.Stop()
+	}
+}

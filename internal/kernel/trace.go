@@ -1,0 +1,58 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+
+	"colab/internal/sim"
+)
+
+// TraceKind labels one scheduling event in an execution trace.
+type TraceKind string
+
+// Trace event kinds.
+const (
+	TraceDispatch TraceKind = "dispatch" // thread starts running on a core
+	TraceMigrate  TraceKind = "migrate"  // dispatch on a different core than last time
+	TraceRotate   TraceKind = "rotate"   // slice expired, thread re-queued
+	TracePreempt  TraceKind = "preempt"  // running thread displaced
+	TraceBlock    TraceKind = "block"    // thread waits on a futex
+	TraceWake     TraceKind = "wake"     // futex wait ended
+	TraceIdle     TraceKind = "idle"     // core found nothing to run
+	TraceDone     TraceKind = "done"     // thread retired
+)
+
+// TraceEvent is one timestamped scheduling event.
+type TraceEvent struct {
+	At     sim.Time
+	Kind   TraceKind
+	Core   int    // core involved, -1 when not core-specific
+	Thread string // thread identity, "" for pure core events
+}
+
+// String renders the event as one trace line.
+func (e TraceEvent) String() string {
+	if e.Thread == "" {
+		return fmt.Sprintf("%12v cpu%-2d %s", e.At, e.Core, e.Kind)
+	}
+	if e.Core < 0 {
+		return fmt.Sprintf("%12v %-8s %s", e.At, e.Kind, e.Thread)
+	}
+	return fmt.Sprintf("%12v cpu%-2d %-8s %s", e.At, e.Core, e.Kind, e.Thread)
+}
+
+// SetTracer installs a scheduling-event callback. Pass nil to disable.
+// Tracing is off by default and adds no overhead when disabled.
+func (m *Machine) SetTracer(fn func(TraceEvent)) { m.tracer = fn }
+
+// WriteTracer returns a tracer that writes one line per event to w.
+func WriteTracer(w io.Writer) func(TraceEvent) {
+	return func(e TraceEvent) { fmt.Fprintln(w, e.String()) }
+}
+
+func (m *Machine) emit(kind TraceKind, core int, thread string) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer(TraceEvent{At: m.eng.Now(), Kind: kind, Core: core, Thread: thread})
+}

@@ -1,0 +1,124 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the result of a symmetric eigen-decomposition: Values sorted in
+// descending order and Vectors with the corresponding unit eigenvectors as
+// columns (Vectors.Col(k) pairs with Values[k]).
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// JacobiEigen computes the eigen-decomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method. It is robust and precise for the small
+// (tens of features) covariance matrices used by the PCA counter-selection
+// stage. The input is not modified.
+func JacobiEigen(a *Matrix) (*Eigen, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mathx: JacobiEigen needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-9 * (1 + maxAbsElem(a))) {
+		return nil, fmt.Errorf("mathx: JacobiEigen needs a symmetric matrix")
+	}
+	if n == 0 {
+		return &Eigen{Values: nil, Vectors: NewMatrix(0, 0)}, nil
+	}
+
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagonalNorm(m)
+		if off <= 1e-14*(1+maxAbsElem(m)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(theta*theta+1))
+				} else {
+					t = -1 / (-theta + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	outVals := make([]float64, n)
+	outVecs := NewMatrix(n, n)
+	for k, src := range idx {
+		outVals[k] = vals[src]
+		for r := 0; r < n; r++ {
+			outVecs.Set(r, k, v.At(r, src))
+		}
+	}
+	return &Eigen{Values: outVals, Vectors: outVecs}, nil
+}
+
+// rotate applies the Jacobi rotation J^T m J for the (p, q) plane with
+// cosine c and sine s, and accumulates the rotation into v.
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for k := 0; k < n; k++ { // column update: m = m * J
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ { // row update: m = J^T * m
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ { // accumulate eigenvectors
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagonalNorm(m *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func maxAbsElem(m *Matrix) float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}

@@ -1,0 +1,128 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{3, 0}, {0, 1}})
+	e, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e.Values[0], 3, 1e-12) || !almostEq(e.Values[1], 1, 1e-12) {
+		t.Fatalf("values = %v", e.Values)
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e.Values[0], 3, 1e-10) || !almostEq(e.Values[1], 1, 1e-10) {
+		t.Fatalf("values = %v", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	v := e.Vectors.Col(0)
+	if !almostEq(math.Abs(v[0]), 1/math.Sqrt2, 1e-9) || !almostEq(math.Abs(v[1]), 1/math.Sqrt2, 1e-9) {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestJacobiEigenRejectsNonSymmetric(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := JacobiEigen(a); err == nil {
+		t.Fatalf("non-symmetric must error")
+	}
+	if _, err := JacobiEigen(NewMatrix(2, 3)); err == nil {
+		t.Fatalf("non-square must error")
+	}
+}
+
+// Property: A v_k = lambda_k v_k, eigenvalues sorted descending, vectors
+// orthonormal.
+func TestJacobiEigenProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.IntN(7)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.Range(-4, 4)
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		e, err := JacobiEigen(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if k > 0 && e.Values[k] > e.Values[k-1]+1e-9 {
+				return false // not sorted
+			}
+			v := e.Vectors.Col(k)
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if !almostEq(av[i], e.Values[k]*v[i], 1e-6) {
+					return false
+				}
+			}
+		}
+		// Orthonormality.
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				dot := 0.0
+				for r := 0; r < n; r++ {
+					dot += e.Vectors.At(r, i) * e.Vectors.At(r, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(dot, want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the trace equals the eigenvalue sum (invariant of similarity
+// transforms).
+func TestJacobiEigenTraceInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.IntN(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.Range(-3, 3)
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		e, err := JacobiEigen(a)
+		if err != nil {
+			return false
+		}
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += e.Values[i]
+		}
+		return almostEq(trace, sum, 1e-8)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

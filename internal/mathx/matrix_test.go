@@ -1,0 +1,184 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("At wrong: %v", m)
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatalf("Set failed")
+	}
+	if got := m.Row(2); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("Row = %v", got)
+	}
+	if got := m.Col(0); got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Col = %v", got)
+	}
+}
+
+func TestMatrixRowColAreCopies(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatalf("Row must return a copy")
+	}
+	c := m.Col(1)
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Fatalf("Col must return a copy")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := NewMatrixFromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatrixMulVecMatchesMul(t *testing.T) {
+	rng := NewRNG(7)
+	a := NewMatrix(4, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.Range(-3, 3)
+	}
+	v := make([]float64, 5)
+	for i := range v {
+		v[i] = rng.Range(-3, 3)
+	}
+	col := NewMatrix(5, 1)
+	copy(col.Data, v)
+	want := a.Mul(col)
+	got := a.MulVec(v)
+	for i := range got {
+		if !almostEq(got[i], want.At(i, 0), 1e-12) {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		r, c := 1+rng.IntN(6), 1+rng.IntN(6)
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Range(-10, 10)
+		}
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityIsMulNeutral(t *testing.T) {
+	rng := NewRNG(3)
+	m := NewMatrix(4, 4)
+	for i := range m.Data {
+		m.Data[i] = rng.Range(-5, 5)
+	}
+	p := m.Mul(Identity(4))
+	for i := range m.Data {
+		if !almostEq(p.Data[i], m.Data[i], 1e-12) {
+			t.Fatalf("m*I != m at %d", i)
+		}
+	}
+}
+
+func TestSolveLinearSystemKnown(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinearSystem(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-9) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+// Property: for random well-conditioned systems, A * solve(A, b) == b.
+func TestSolveLinearSystemResidualProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.IntN(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Range(-2, 2)
+		}
+		// Diagonal dominance keeps the system well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+5)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Range(-10, 10)
+		}
+		x, err := SolveLinearSystem(a, b)
+		if err != nil {
+			return false
+		}
+		res := a.MulVec(x)
+		for i := range b {
+			if !almostEq(res[i], b[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLinearSystemSingular(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinearSystem(a, []float64{1, 2}); err == nil {
+		t.Fatalf("singular system must error")
+	}
+}
+
+func TestSolveLinearSystemShapeErrors(t *testing.T) {
+	if _, err := SolveLinearSystem(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatalf("non-square must error")
+	}
+	if _, err := SolveLinearSystem(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Fatalf("rhs length mismatch must error")
+	}
+}

@@ -1,0 +1,103 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinReg is a fitted linear regression y = Intercept + Coef . x.
+type LinReg struct {
+	Intercept float64
+	Coef      []float64
+}
+
+// FitLinReg fits ordinary least squares with an intercept by solving the
+// normal equations. A small ridge term lambda >= 0 stabilises nearly
+// collinear designs (lambda = 0 is plain OLS).
+func FitLinReg(x *Matrix, y []float64, lambda float64) (*LinReg, error) {
+	n, d := x.Rows, x.Cols
+	if len(y) != n {
+		return nil, fmt.Errorf("mathx: FitLinReg: %d targets for %d samples", len(y), n)
+	}
+	if n < d+1 {
+		return nil, fmt.Errorf("mathx: FitLinReg: underdetermined (%d samples, %d features)", n, d)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("mathx: FitLinReg: negative ridge %g", lambda)
+	}
+	// Design matrix with leading intercept column.
+	p := d + 1
+	ata := NewMatrix(p, p)
+	atb := make([]float64, p)
+	row := make([]float64, p)
+	for i := 0; i < n; i++ {
+		row[0] = 1
+		copy(row[1:], x.Data[i*d:(i+1)*d])
+		for a := 0; a < p; a++ {
+			atb[a] += row[a] * y[i]
+			for b := a; b < p; b++ {
+				ata.Data[a*p+b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := a; b < p; b++ {
+			ata.Data[b*p+a] = ata.Data[a*p+b]
+		}
+	}
+	if lambda > 0 {
+		for a := 1; a < p; a++ { // do not penalise the intercept
+			ata.Data[a*p+a] += lambda
+		}
+	}
+	w, err := SolveLinearSystem(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("mathx: FitLinReg: %w", err)
+	}
+	return &LinReg{Intercept: w[0], Coef: w[1:]}, nil
+}
+
+// Predict evaluates the model on one feature vector.
+func (l *LinReg) Predict(x []float64) float64 {
+	if len(x) != len(l.Coef) {
+		panic(fmt.Sprintf("mathx: LinReg.Predict feature mismatch: %d, want %d", len(x), len(l.Coef)))
+	}
+	s := l.Intercept
+	for i, c := range l.Coef {
+		s += c * x[i]
+	}
+	return s
+}
+
+// R2 returns the coefficient of determination of the model on (x, y).
+func (l *LinReg) R2(x *Matrix, y []float64) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	mean := Mean(y)
+	ssRes, ssTot := 0.0, 0.0
+	for i := 0; i < x.Rows; i++ {
+		pred := l.Predict(x.Row(i))
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - mean) * (y[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MAE returns the mean absolute prediction error on (x, y).
+func (l *LinReg) MAE(x *Matrix, y []float64) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < x.Rows; i++ {
+		s += math.Abs(y[i] - l.Predict(x.Row(i)))
+	}
+	return s / float64(x.Rows)
+}

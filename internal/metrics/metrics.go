@@ -1,0 +1,65 @@
+// Package metrics implements the paper's evaluation metrics (§5.1):
+// Heterogeneous Normalized Turnaround Time (H_NTT), Heterogeneous Average
+// Normalized Turnaround Time (H_ANTT) and Heterogeneous System Throughput
+// (H_STP), after Eyerman & Eeckhout's ANTT/STP adapted for AMPs: the
+// baseline runtime of each application is measured alone on a machine with
+// only big cores, removing the scheduler's influence from the baseline.
+package metrics
+
+import (
+	"fmt"
+
+	"colab/internal/kernel"
+	"colab/internal/sim"
+)
+
+// HNTT is T_mix / T_singleBig for one application: lower is better.
+func HNTT(mix, baselineBig sim.Time) float64 {
+	if baselineBig <= 0 {
+		return 0
+	}
+	return float64(mix) / float64(baselineBig)
+}
+
+// MixScore carries both metrics for one multi-programmed run.
+type MixScore struct {
+	HANTT float64 // average slowdown vs big-only-alone; lower is better
+	HSTP  float64 // summed relative throughput; higher is better
+}
+
+// Score computes H_ANTT and H_STP for a finished run. baseline maps each
+// app (by position in the result) to its big-only-alone turnaround.
+func Score(res *kernel.Result, baseline func(appIdx int, app kernel.AppResult) sim.Time) (MixScore, error) {
+	if len(res.Apps) == 0 {
+		return MixScore{}, fmt.Errorf("metrics: result has no apps")
+	}
+	var antt, stp float64
+	for i, a := range res.Apps {
+		base := baseline(i, a)
+		if base <= 0 {
+			return MixScore{}, fmt.Errorf("metrics: app %s has no baseline", a.Name)
+		}
+		if a.Turnaround <= 0 {
+			return MixScore{}, fmt.Errorf("metrics: app %s did not finish", a.Name)
+		}
+		antt += float64(a.Turnaround) / float64(base)
+		stp += float64(base) / float64(a.Turnaround)
+	}
+	n := float64(len(res.Apps))
+	return MixScore{HANTT: antt / n, HSTP: stp}, nil
+}
+
+// Normalized expresses a score relative to a reference scheduler's score on
+// the same workload/config (the paper normalises everything to Linux CFS):
+// H_ANTT ratios below 1 and H_STP ratios above 1 mean better than the
+// reference.
+func Normalized(s, ref MixScore) MixScore {
+	out := MixScore{}
+	if ref.HANTT > 0 {
+		out.HANTT = s.HANTT / ref.HANTT
+	}
+	if ref.HSTP > 0 {
+		out.HSTP = s.HSTP / ref.HSTP
+	}
+	return out
+}

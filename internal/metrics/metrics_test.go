@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"colab/internal/kernel"
+	"colab/internal/sim"
+)
+
+func res(turnarounds ...sim.Time) *kernel.Result {
+	r := &kernel.Result{}
+	for i, tt := range turnarounds {
+		r.Apps = append(r.Apps, kernel.AppResult{Name: "app", AppID: i, Turnaround: tt})
+	}
+	return r
+}
+
+func TestHNTT(t *testing.T) {
+	if got := HNTT(200, 100); got != 2 {
+		t.Fatalf("HNTT = %v", got)
+	}
+	if HNTT(100, 0) != 0 {
+		t.Fatalf("zero baseline must yield 0")
+	}
+}
+
+func TestScore(t *testing.T) {
+	// Two apps: slowdowns 2x and 4x -> H_ANTT = 3, H_STP = 0.5+0.25.
+	r := res(200, 400)
+	bases := []sim.Time{100, 100}
+	s, err := Score(r, func(i int, _ kernel.AppResult) sim.Time { return bases[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HANTT != 3 {
+		t.Fatalf("HANTT = %v", s.HANTT)
+	}
+	if math.Abs(s.HSTP-0.75) > 1e-12 {
+		t.Fatalf("HSTP = %v", s.HSTP)
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	if _, err := Score(&kernel.Result{}, nil); err == nil {
+		t.Fatalf("empty result must error")
+	}
+	r := res(100)
+	if _, err := Score(r, func(int, kernel.AppResult) sim.Time { return 0 }); err == nil {
+		t.Fatalf("missing baseline must error")
+	}
+	r2 := res(0)
+	if _, err := Score(r2, func(int, kernel.AppResult) sim.Time { return 100 }); err == nil {
+		t.Fatalf("unfinished app must error")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	s := MixScore{HANTT: 1.5, HSTP: 3}
+	ref := MixScore{HANTT: 2, HSTP: 2}
+	n := Normalized(s, ref)
+	if n.HANTT != 0.75 || n.HSTP != 1.5 {
+		t.Fatalf("normalized = %+v", n)
+	}
+	z := Normalized(s, MixScore{})
+	if z.HANTT != 0 || z.HSTP != 0 {
+		t.Fatalf("degenerate reference must zero out: %+v", z)
+	}
+}

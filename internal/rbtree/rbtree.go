@@ -1,0 +1,386 @@
+// Package rbtree implements a generic red-black tree with parent pointers
+// and handle-based deletion. It is the timeline data structure behind the
+// CFS run queue re-implementation: the Linux CFS scheduler keeps runnable
+// tasks in a red-black tree ordered by virtual runtime and repeatedly takes
+// the leftmost node.
+package rbtree
+
+// Node is a tree node handle. Handles stay valid until the node is deleted,
+// so callers (the run queues) can unlink a specific task in O(log n)
+// without searching.
+type Node[T any] struct {
+	Value               T
+	left, right, parent *Node[T]
+	red                 bool
+}
+
+// Tree is a red-black tree ordered by a strict less function. Duplicate keys
+// are permitted; equal elements are kept in insertion order on the right,
+// matching CFS behaviour for equal vruntimes.
+type Tree[T any] struct {
+	root *Node[T]
+	nil_ *Node[T] // shared sentinel leaf: black, self-parented
+	less func(a, b T) bool
+	size int
+}
+
+// New returns an empty tree ordered by less.
+func New[T any](less func(a, b T) bool) *Tree[T] {
+	sentinel := &Node[T]{}
+	sentinel.left, sentinel.right, sentinel.parent = sentinel, sentinel, sentinel
+	return &Tree[T]{root: sentinel, nil_: sentinel, less: less}
+}
+
+// Len returns the number of elements.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds v and returns its node handle.
+func (t *Tree[T]) Insert(v T) *Node[T] {
+	z := &Node[T]{Value: v, left: t.nil_, right: t.nil_, parent: t.nil_, red: true}
+	y := t.nil_
+	x := t.root
+	for x != t.nil_ {
+		y = x
+		if t.less(z.Value, x.Value) {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	z.parent = y
+	switch {
+	case y == t.nil_:
+		t.root = z
+	case t.less(z.Value, y.Value):
+		y.left = z
+	default:
+		y.right = z
+	}
+	t.size++
+	t.insertFixup(z)
+	return z
+}
+
+func (t *Tree[T]) insertFixup(z *Node[T]) {
+	for z.parent.red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.red {
+				z.parent.red = false
+				y.red = false
+				z.parent.parent.red = true
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.red = false
+				z.parent.parent.red = true
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.red {
+				z.parent.red = false
+				y.red = false
+				z.parent.parent.red = true
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.red = false
+				z.parent.parent.red = true
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.red = false
+}
+
+func (t *Tree[T]) rotateLeft(x *Node[T]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[T]) rotateRight(x *Node[T]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Min returns the leftmost node, or nil when the tree is empty.
+func (t *Tree[T]) Min() *Node[T] {
+	if t.root == t.nil_ {
+		return nil
+	}
+	return t.minimum(t.root)
+}
+
+// Max returns the rightmost node, or nil when the tree is empty.
+func (t *Tree[T]) Max() *Node[T] {
+	if t.root == t.nil_ {
+		return nil
+	}
+	x := t.root
+	for x.right != t.nil_ {
+		x = x.right
+	}
+	return x
+}
+
+func (t *Tree[T]) minimum(x *Node[T]) *Node[T] {
+	for x.left != t.nil_ {
+		x = x.left
+	}
+	return x
+}
+
+// Next returns the in-order successor of n, or nil at the end.
+func (t *Tree[T]) Next(n *Node[T]) *Node[T] {
+	if n == nil || n == t.nil_ {
+		return nil
+	}
+	if n.right != t.nil_ {
+		s := t.minimum(n.right)
+		return s
+	}
+	y := n.parent
+	for y != t.nil_ && n == y.right {
+		n = y
+		y = y.parent
+	}
+	if y == t.nil_ {
+		return nil
+	}
+	return y
+}
+
+// Prev returns the in-order predecessor of n, or nil at the start.
+func (t *Tree[T]) Prev(n *Node[T]) *Node[T] {
+	if n == nil || n == t.nil_ {
+		return nil
+	}
+	if n.left != t.nil_ {
+		x := n.left
+		for x.right != t.nil_ {
+			x = x.right
+		}
+		return x
+	}
+	y := n.parent
+	for y != t.nil_ && n == y.left {
+		n = y
+		y = y.parent
+	}
+	if y == t.nil_ {
+		return nil
+	}
+	return y
+}
+
+// Delete unlinks node z from the tree. z must be a live handle obtained from
+// Insert on this tree.
+func (t *Tree[T]) Delete(z *Node[T]) {
+	if z == nil || z == t.nil_ {
+		return
+	}
+	y := z
+	yWasRed := y.red
+	var x *Node[T]
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yWasRed = y.red
+		x = y.right
+		if y.parent == z {
+			x.parent = y // x may be sentinel; fixup relies on its parent
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.red = z.red
+	}
+	t.size--
+	if !yWasRed {
+		t.deleteFixup(x)
+	}
+	// Detach handle so double-deletes are detectable by tests.
+	z.left, z.right, z.parent = nil, nil, nil
+	// Reset the sentinel parent mutated via the y.parent == z shortcut.
+	t.nil_.parent = t.nil_
+}
+
+func (t *Tree[T]) transplant(u, v *Node[T]) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[T]) deleteFixup(x *Node[T]) {
+	for x != t.root && !x.red {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.red {
+				w.red = false
+				x.parent.red = true
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if !w.left.red && !w.right.red {
+				w.red = true
+				x = x.parent
+			} else {
+				if !w.right.red {
+					w.left.red = false
+					w.red = true
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.red = x.parent.red
+				x.parent.red = false
+				w.right.red = false
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.red {
+				w.red = false
+				x.parent.red = true
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if !w.right.red && !w.left.red {
+				w.red = true
+				x = x.parent
+			} else {
+				if !w.left.red {
+					w.right.red = false
+					w.red = true
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.red = x.parent.red
+				x.parent.red = false
+				w.left.red = false
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.red = false
+}
+
+// Ascend calls fn for each value in ascending order until fn returns false.
+func (t *Tree[T]) Ascend(fn func(v T) bool) {
+	for n := t.Min(); n != nil; n = t.Next(n) {
+		if !fn(n.Value) {
+			return
+		}
+	}
+}
+
+// Values returns all values in ascending order.
+func (t *Tree[T]) Values() []T {
+	out := make([]T, 0, t.size)
+	t.Ascend(func(v T) bool { out = append(out, v); return true })
+	return out
+}
+
+// Validate checks the red-black invariants and the ordering invariant.
+// It returns a descriptive error string, or "" when the tree is valid.
+// Exposed for tests and debug builds.
+func (t *Tree[T]) Validate() string {
+	if t.root == t.nil_ {
+		if t.size != 0 {
+			return "empty tree with non-zero size"
+		}
+		return ""
+	}
+	if t.root.red {
+		return "root is red"
+	}
+	blackHeight := -1
+	count := 0
+	var walk func(n *Node[T], blacks int) string
+	walk = func(n *Node[T], blacks int) string {
+		if n == t.nil_ {
+			if blackHeight == -1 {
+				blackHeight = blacks
+			} else if blacks != blackHeight {
+				return "unequal black heights"
+			}
+			return ""
+		}
+		count++
+		if n.red && (n.left.red || n.right.red) {
+			return "red node with red child"
+		}
+		if n.left != t.nil_ && t.less(n.Value, n.left.Value) {
+			return "left child greater than parent"
+		}
+		if n.right != t.nil_ && t.less(n.right.Value, n.Value) {
+			return "right child less than parent"
+		}
+		if !n.red {
+			blacks++
+		}
+		if msg := walk(n.left, blacks); msg != "" {
+			return msg
+		}
+		return walk(n.right, blacks)
+	}
+	if msg := walk(t.root, 0); msg != "" {
+		return msg
+	}
+	if count != t.size {
+		return "size mismatch"
+	}
+	return ""
+}

@@ -1,0 +1,220 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"colab/internal/mathx"
+)
+
+func intTree() *Tree[int] { return New(func(a, b int) bool { return a < b }) }
+
+func TestInsertOrderedIteration(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{5, 1, 9, 3, 7, 2, 8, 4, 6, 0} {
+		tr.Insert(v)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	got := tr.Values()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Values() = %v", got)
+		}
+	}
+	if msg := tr.Validate(); msg != "" {
+		t.Fatalf("invalid tree: %s", msg)
+	}
+}
+
+func TestMinMaxNextPrev(t *testing.T) {
+	tr := intTree()
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatalf("empty tree min/max must be nil")
+	}
+	for _, v := range []int{4, 2, 6, 1, 3, 5, 7} {
+		tr.Insert(v)
+	}
+	if tr.Min().Value != 1 || tr.Max().Value != 7 {
+		t.Fatalf("min/max = %d/%d", tr.Min().Value, tr.Max().Value)
+	}
+	// Walk forward.
+	want := 1
+	for n := tr.Min(); n != nil; n = tr.Next(n) {
+		if n.Value != want {
+			t.Fatalf("Next walk got %d want %d", n.Value, want)
+		}
+		want++
+	}
+	// Walk backward.
+	want = 7
+	for n := tr.Max(); n != nil; n = tr.Prev(n) {
+		if n.Value != want {
+			t.Fatalf("Prev walk got %d want %d", n.Value, want)
+		}
+		want--
+	}
+	if tr.Next(nil) != nil || tr.Prev(nil) != nil {
+		t.Fatalf("Next/Prev(nil) must be nil")
+	}
+}
+
+func TestDeleteByHandle(t *testing.T) {
+	tr := intTree()
+	nodes := map[int]*Node[int]{}
+	for _, v := range []int{10, 20, 30, 40, 50, 25, 35, 15} {
+		nodes[v] = tr.Insert(v)
+	}
+	tr.Delete(nodes[30])
+	tr.Delete(nodes[10])
+	if msg := tr.Validate(); msg != "" {
+		t.Fatalf("after delete: %s", msg)
+	}
+	got := tr.Values()
+	want := []int{15, 20, 25, 35, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v", got)
+		}
+	}
+	tr.Delete(nil) // must be a no-op
+	if tr.Len() != 6 {
+		t.Fatalf("len after nil delete = %d", tr.Len())
+	}
+}
+
+func TestDuplicateKeysFIFOOnEqual(t *testing.T) {
+	type item struct{ key, id int }
+	tr := New(func(a, b item) bool { return a.key < b.key })
+	for i := 0; i < 5; i++ {
+		tr.Insert(item{key: 7, id: i})
+	}
+	// Equal keys go right, so in-order yields insertion order.
+	var ids []int
+	tr.Ascend(func(v item) bool { ids = append(ids, v.id); return true })
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("equal-key order = %v", ids)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	count := 0
+	tr.Ascend(func(v int) bool {
+		count++
+		return v < 10 // v=10 returns false and stops the walk
+	})
+	if count != 11 {
+		t.Fatalf("Ascend early stop made %d calls, want 11", count)
+	}
+}
+
+// Property: arbitrary interleaved insert/delete sequences keep the
+// red-black invariants and match a reference sorted-multiset model.
+func TestRandomOpsAgainstReferenceModel(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		tr := intTree()
+		handles := map[int][]*Node[int]{} // value -> live handles
+		var model []int
+		for op := 0; op < 300; op++ {
+			if rng.Float64() < 0.6 || len(model) == 0 {
+				v := rng.IntN(50)
+				handles[v] = append(handles[v], tr.Insert(v))
+				model = append(model, v)
+				sort.Ints(model)
+			} else {
+				v := model[rng.IntN(len(model))]
+				hs := handles[v]
+				h := hs[len(hs)-1]
+				handles[v] = hs[:len(hs)-1]
+				tr.Delete(h)
+				i := sort.SearchInts(model, v)
+				model = append(model[:i], model[i+1:]...)
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+			if msg := tr.Validate(); msg != "" {
+				t.Logf("seed %d op %d: %s", seed, op, msg)
+				return false
+			}
+		}
+		got := tr.Values()
+		if len(got) != len(model) {
+			return false
+		}
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequentialInsertDeleteStaysBalanced(t *testing.T) {
+	tr := intTree()
+	var nodes []*Node[int]
+	const n = 4096
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, tr.Insert(i))
+	}
+	if msg := tr.Validate(); msg != "" {
+		t.Fatalf("after sequential inserts: %s", msg)
+	}
+	// Delete evens, keep odds.
+	for i := 0; i < n; i += 2 {
+		tr.Delete(nodes[i])
+	}
+	if msg := tr.Validate(); msg != "" {
+		t.Fatalf("after deletes: %s", msg)
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Min().Value != 1 {
+		t.Fatalf("min = %d", tr.Min().Value)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := intTree()
+	rng := mathx.NewRNG(1)
+	var nodes []*Node[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nodes = append(nodes, tr.Insert(rng.IntN(1<<20)))
+		if len(nodes) > 1024 {
+			tr.Delete(nodes[0])
+			nodes = nodes[1:]
+		}
+	}
+}
+
+func BenchmarkMin(b *testing.B) {
+	tr := intTree()
+	rng := mathx.NewRNG(1)
+	for i := 0; i < 1024; i++ {
+		tr.Insert(rng.IntN(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Min() == nil {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package cfs_test
+
+import (
+	"testing"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/sched/cfs"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+var plain = cpu.WorkProfile{ILP: 0.5, BranchRate: 0.1, MemIntensity: 0.3}
+
+func app(id int, progs []task.Program, prof cpu.WorkProfile) *task.App {
+	a := &task.App{ID: id, Name: "app"}
+	for i, p := range progs {
+		a.Threads = append(a.Threads, &task.Thread{
+			App: a, Name: "t" + string(rune('0'+i)), Profile: prof, Program: p,
+		})
+	}
+	return a
+}
+
+func cpuBound(work float64) task.Program { return task.Program{task.Compute{Work: work}} }
+
+func run(t *testing.T, cfg cpu.Config, w *task.Workload, opts cfs.Options) *kernel.Result {
+	t.Helper()
+	m, err := kernel.NewMachine(cfg, cfs.New(opts), w, kernel.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Two equal CPU-bound threads sharing one core must get nearly equal CPU
+// time (the fairness invariant CFS exists for).
+func TestFairnessOnSharedCore(t *testing.T) {
+	a := app(0, []task.Program{cpuBound(50e6), cpuBound(50e6)}, plain)
+	w := &task.Workload{Name: "fair", Apps: []*task.App{a}}
+	res := run(t, cpu.NewSymmetric(cpu.Little, 1), w, cfs.Options{})
+	e0, e1 := res.Threads[0].SumExec, res.Threads[1].SumExec
+	// Both finish 50ms of work; completion order may skew the tail, but at
+	// the first thread's completion both should be near 50% of the core.
+	ratio := float64(e0) / float64(e1)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("unfair split: %v vs %v", e0, e1)
+	}
+}
+
+// Threads are placed on the least-loaded cores: four independent threads on
+// four cores must all run in parallel (makespan ~ single-thread runtime).
+func TestLeastLoadedPlacementSpreads(t *testing.T) {
+	a := app(0, []task.Program{cpuBound(30e6), cpuBound(30e6), cpuBound(30e6), cpuBound(30e6)}, plain)
+	w := &task.Workload{Name: "spread", Apps: []*task.App{a}}
+	res := run(t, cpu.NewSymmetric(cpu.Little, 4), w, cfs.Options{})
+	if res.EndTime > 32*sim.Millisecond {
+		t.Fatalf("threads did not spread: end %v", res.EndTime)
+	}
+	for _, c := range res.Cores {
+		if c.Dispatches == 0 {
+			t.Fatalf("core %d never dispatched", c.ID)
+		}
+	}
+}
+
+// Affinity masks restrict placement and stealing.
+func TestAffinityRespected(t *testing.T) {
+	a := app(0, []task.Program{cpuBound(20e6), cpuBound(20e6)}, plain)
+	a.Threads[0].Affinity = task.MaskOf([]int{1})
+	a.Threads[1].Affinity = task.MaskOf([]int{1})
+	w := &task.Workload{Name: "aff", Apps: []*task.App{a}}
+	res := run(t, cpu.NewSymmetric(cpu.Little, 2), w, cfs.Options{})
+	if res.Cores[0].BusyTime > sim.Millisecond {
+		t.Fatalf("core 0 ran pinned-away threads: busy %v", res.Cores[0].BusyTime)
+	}
+	if res.Cores[1].BusyTime < 40*sim.Millisecond {
+		t.Fatalf("core 1 did not run both threads: busy %v", res.Cores[1].BusyTime)
+	}
+}
+
+// The per-thread slice shrinks as the run queue grows (target latency is
+// divided among runnable threads).
+func TestSliceShrinksWithLoad(t *testing.T) {
+	// 6 threads on one core: slice should be 1ms (6ms/6), so within any 6ms
+	// window every thread runs. Rough proxy: switches must be plentiful.
+	var progs []task.Program
+	for i := 0; i < 6; i++ {
+		progs = append(progs, cpuBound(12e6))
+	}
+	a := app(0, progs, plain)
+	w := &task.Workload{Name: "slices", Apps: []*task.App{a}}
+	res := run(t, cpu.NewSymmetric(cpu.Little, 1), w, cfs.Options{})
+	if res.TotalSwitches < 30 {
+		t.Fatalf("too few context switches for 6-way sharing: %d", res.TotalSwitches)
+	}
+}
+
+// A long-sleeping thread woken up must preempt a long-running thread (its
+// vruntime is far behind).
+func TestWakeupPreemption(t *testing.T) {
+	sleeper := task.Program{task.Sleep{Duration: 20 * sim.Millisecond}, task.Compute{Work: 5e6}}
+	hog := cpuBound(100e6)
+	a := app(0, []task.Program{sleeper, hog}, plain)
+	w := &task.Workload{Name: "wake", Apps: []*task.App{a}}
+	res := run(t, cpu.NewSymmetric(cpu.Little, 1), w, cfs.Options{})
+	if res.TotalPreemptions == 0 {
+		t.Fatalf("woken sleeper never preempted the hog")
+	}
+	// The sleeper must finish well before the hog.
+	if res.Threads[0].SumExec+res.Threads[0].BlockedTime+res.Threads[0].ReadyTime >
+		res.Threads[1].SumExec {
+		t.Logf("sleeper total %v, hog exec %v (informational)",
+			res.Threads[0].SumExec+res.Threads[0].BlockedTime, res.Threads[1].SumExec)
+	}
+}
+
+// Idle cores steal work: one core overloaded, one empty.
+func TestIdleSteal(t *testing.T) {
+	a := app(0, []task.Program{cpuBound(40e6), cpuBound(40e6)}, plain)
+	// Pin both to core 0 initially via affinity then widen? Instead: both
+	// enqueue at t=0; least-loaded placement spreads them. To force a steal
+	// we use three threads on two cores: the third must be stolen when a
+	// core drains.
+	b := app(0, []task.Program{cpuBound(40e6), cpuBound(40e6), cpuBound(40e6)}, plain)
+	w := &task.Workload{Name: "steal", Apps: []*task.App{b}}
+	_ = a
+	res := run(t, cpu.NewSymmetric(cpu.Little, 2), w, cfs.Options{})
+	// Perfect schedule: 60ms (120ms of work over 2 cores). Without stealing
+	// one core would idle after 40ms and the other run 80ms.
+	if res.EndTime > 70*sim.Millisecond {
+		t.Fatalf("idle steal missing: end %v", res.EndTime)
+	}
+}
+
+func TestNameAndDefaults(t *testing.T) {
+	p := cfs.New(cfs.Options{})
+	if p.Name() != "linux" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	o := p.Options()
+	if o.TargetLatency != 6*sim.Millisecond || o.MinGranularity != 750*sim.Microsecond {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if o.SleeperCredit != 3*sim.Millisecond {
+		t.Fatalf("sleeper credit = %v", o.SleeperCredit)
+	}
+}

@@ -1,0 +1,169 @@
+package cfs
+
+import (
+	"testing"
+
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// White-box tests for the CFS run queue structure itself.
+
+func th(vr sim.Time) *task.Thread {
+	return &task.Thread{VRuntime: vr, Affinity: task.AffinityAll}
+}
+
+func TestRunqueuePopsLowestVruntime(t *testing.T) {
+	rq := newRunqueue(0)
+	a, b, c := th(30), th(10), th(20)
+	rq.push(a)
+	rq.push(b)
+	rq.push(c)
+	if rq.len() != 3 {
+		t.Fatalf("len = %d", rq.len())
+	}
+	if got := rq.popLeftmost(); got != b {
+		t.Fatalf("pop 1 wrong")
+	}
+	if got := rq.popLeftmost(); got != c {
+		t.Fatalf("pop 2 wrong")
+	}
+	if got := rq.popLeftmost(); got != a {
+		t.Fatalf("pop 3 wrong")
+	}
+	if rq.popLeftmost() != nil {
+		t.Fatalf("empty pop must be nil")
+	}
+}
+
+func TestRunqueueMinVRAdvancesMonotonically(t *testing.T) {
+	rq := newRunqueue(0)
+	rq.push(th(100))
+	rq.push(th(50))
+	rq.popLeftmost() // vr 50
+	if rq.minVR != 50 {
+		t.Fatalf("minVR = %v", rq.minVR)
+	}
+	// Popping an older (smaller) entry later must not move minVR backwards.
+	rq.push(th(10))
+	rq.popLeftmost()
+	if rq.minVR != 50 {
+		t.Fatalf("minVR went backwards: %v", rq.minVR)
+	}
+	rq.popLeftmost() // vr 100
+	if rq.minVR != 100 {
+		t.Fatalf("minVR = %v", rq.minVR)
+	}
+}
+
+func TestRunqueueRemoveAndDoublePushPanics(t *testing.T) {
+	rq := newRunqueue(0)
+	a := th(1)
+	rq.push(a)
+	if !rq.remove(a) {
+		t.Fatalf("remove failed")
+	}
+	if rq.remove(a) {
+		t.Fatalf("double remove must report false")
+	}
+	rq.push(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double push must panic")
+		}
+	}()
+	rq.push(a)
+}
+
+func TestStealRightmostRespectsFilter(t *testing.T) {
+	rq := newRunqueue(0)
+	pinned := th(100)
+	pinned.Affinity = task.MaskOf([]int{0})
+	free := th(50)
+	rq.push(pinned)
+	rq.push(free)
+	// Steal for core 1: the rightmost (vr 100) is pinned to core 0, so the
+	// vr-50 thread must be taken instead.
+	got := rq.stealRightmost(func(t *task.Thread) bool { return t.AllowedOn(1) })
+	if got != free {
+		t.Fatalf("steal took the pinned thread")
+	}
+	if rq.stealRightmost(func(t *task.Thread) bool { return t.AllowedOn(1) }) != nil {
+		t.Fatalf("nothing stealable left")
+	}
+	if rq.len() != 1 {
+		t.Fatalf("pinned thread must remain")
+	}
+}
+
+func TestPeekLeftmostDoesNotRemove(t *testing.T) {
+	rq := newRunqueue(0)
+	a := th(5)
+	rq.push(a)
+	if rq.peekLeftmost() != a || rq.len() != 1 {
+		t.Fatalf("peek must not remove")
+	}
+}
+
+func TestEqualVruntimeFIFO(t *testing.T) {
+	rq := newRunqueue(0)
+	a, b := th(7), th(7)
+	rq.push(a)
+	rq.push(b)
+	if rq.popLeftmost() != a || rq.popLeftmost() != b {
+		t.Fatalf("equal-vruntime threads must pop in arrival order")
+	}
+}
+
+func TestExportedQueueHelpers(t *testing.T) {
+	p := New(Options{})
+	p.rqs = []*runqueue{newRunqueue(0), newRunqueue(1), newRunqueue(2)}
+	a, b, c := th(10), th(20), th(30)
+	p.rqs[1].push(a)
+	p.rqs[1].push(b)
+	p.rqs[2].push(c)
+
+	if p.QueueLen(1) != 2 || p.QueueLen(0) != 0 {
+		t.Fatalf("QueueLen wrong: %d %d", p.QueueLen(1), p.QueueLen(0))
+	}
+	if got := p.QueuedOn(a); got != 1 {
+		t.Fatalf("QueuedOn = %d", got)
+	}
+	if got := p.QueuedOn(th(99)); got != -1 {
+		t.Fatalf("unknown thread QueuedOn = %d", got)
+	}
+	if got := p.PopLocal(1); got != a {
+		t.Fatalf("PopLocal took wrong thread")
+	}
+	// StealInto from queues 1 and 2 for core 0: queue lengths are now equal
+	// (1 each), so the busiest-first order is stable and the least-entitled
+	// (highest vruntime) allowed thread of the first source is taken.
+	got := p.StealInto(0, []int{1, 2})
+	if got == nil {
+		t.Fatalf("StealInto found nothing")
+	}
+	if got != b && got != c {
+		t.Fatalf("StealInto returned unexpected thread")
+	}
+	if !p.Dequeue(mustQueued(t, p)) {
+		t.Fatalf("Dequeue failed")
+	}
+	if p.QueueLen(1)+p.QueueLen(2) != 0 {
+		t.Fatalf("queues not drained")
+	}
+	if p.Dequeue(a) {
+		t.Fatalf("Dequeue of unqueued thread must report false")
+	}
+}
+
+// mustQueued returns whichever of the remaining threads is still queued.
+func mustQueued(t *testing.T, p *Policy) *task.Thread {
+	t.Helper()
+	for _, rq := range p.rqs {
+		if n := rq.tree.Min(); n != nil {
+			return n.Value.t
+		}
+	}
+	t.Fatalf("no thread queued")
+	return nil
+}

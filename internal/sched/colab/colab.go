@@ -1,0 +1,446 @@
+// Package colab implements the paper's contribution: a collaborative
+// multi-factor scheduler for asymmetric multicore processors (§3–4).
+//
+// Three collaborating heuristics, each primarily owning one factor:
+//
+//   - A multi-factor labeler runs every 10 ms and tags ready threads from
+//     the runtime models (predicted big/little speedup, futex blocking
+//     blame): high-speedup threads get big-core priority, low-speedup &
+//     low-blocking threads get little-core priority, the rest stay free.
+//   - The hierarchical round-robin core allocator (Alg. 1,
+//     _core_alloctor_) places waking threads by label: round-robin within
+//     the big cluster, within the little cluster, or across all cores —
+//     keeping both clusters loaded without migration churn.
+//   - The biased-global thread selector (Alg. 1, _thread_selector_) always
+//     runs the most blocking (most critical) thread: local queue first,
+//     then the same-type cluster, then the other cluster; an empty big core
+//     may even pull a thread running on a little core. Little cores never
+//     preempt big ones.
+//
+// Fairness comes from speedup-scaled slices: on big cores vruntime advances
+// multiplied by the predicted speedup, so threads are charged for work
+// received rather than wall time and selection triggers proportionally more
+// often on big cores (the paper's scale-slice equal-progress mechanism).
+package colab
+
+import (
+	"fmt"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/mathx"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// Label is the core-allocation tag the labeler assigns (§3.2).
+type Label int
+
+const (
+	// LabelFree threads balance load across both clusters.
+	LabelFree Label = iota
+	// LabelBig marks high-predicted-speedup threads: big-cluster priority.
+	LabelBig
+	// LabelLittle marks low-speedup, low-blocking (non-critical) threads:
+	// little-cluster priority.
+	LabelLittle
+)
+
+// String names the label.
+func (l Label) String() string {
+	switch l {
+	case LabelBig:
+		return "big"
+	case LabelLittle:
+		return "little"
+	default:
+		return "free"
+	}
+}
+
+// Options configure COLAB. The ablation switches disable individual design
+// choices for the ablation benches DESIGN.md calls out.
+type Options struct {
+	// TargetLatency / MinGranularity / WakeupGranularity mirror the CFS
+	// latency parameters the slice computation is built on.
+	TargetLatency     sim.Time
+	MinGranularity    sim.Time
+	WakeupGranularity sim.Time
+	// Interval is the labeling period (paper: 10 ms).
+	Interval sim.Time
+	// Speedup predicts a thread's big-vs-little speedup (trained model).
+	Speedup func(*task.Thread) float64
+	// HighSpeedupZ sets the high-speedup threshold at mean + z*std of the
+	// current ready-thread speedup distribution.
+	HighSpeedupZ float64
+	// BlameDecay is the EWMA retention of per-interval blocking blame.
+	BlameDecay float64
+	// FairnessWindow bounds how far (in scaled vruntime) blame priority may
+	// push a thread ahead of its fair share before selection reverts to
+	// pure vruntime order.
+	FairnessWindow sim.Time
+
+	// Ablation switches (all false for the paper's COLAB).
+	DisableScaleSlice bool // drop the equal-progress vruntime scaling
+	LocalOnlySelector bool // selector never steals from other queues
+	FlatAllocator     bool // ignore labels: plain round-robin over all cores
+	DisablePull       bool // big cores never preempt running little threads
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetLatency == 0 {
+		o.TargetLatency = 6 * sim.Millisecond
+	}
+	if o.MinGranularity == 0 {
+		o.MinGranularity = 750 * sim.Microsecond
+	}
+	if o.WakeupGranularity == 0 {
+		o.WakeupGranularity = sim.Millisecond
+	}
+	if o.Interval == 0 {
+		o.Interval = 10 * sim.Millisecond
+	}
+	if o.Speedup == nil {
+		o.Speedup = func(*task.Thread) float64 { return 1.5 }
+	}
+	if o.HighSpeedupZ == 0 {
+		o.HighSpeedupZ = 0.5
+	}
+	if o.BlameDecay == 0 {
+		o.BlameDecay = 0.5
+	}
+	if o.FairnessWindow == 0 {
+		o.FairnessWindow = 4 * o.TargetLatency
+	}
+	return o
+}
+
+// tinfo is the per-thread runtime model state.
+type tinfo struct {
+	label     Label
+	pred      float64
+	blameEWMA float64
+	lastBlame sim.Time
+}
+
+// Policy is the COLAB scheduler.
+type Policy struct {
+	opts Options
+	m    *kernel.Machine
+
+	info map[*task.Thread]*tinfo
+	rqs  [][]*task.Thread // per-core ready queues (selection scans by blame)
+
+	bigIDs, littleIDs, allIDs []int
+	rrBig, rrLittle, rrAll    int
+}
+
+// New returns a COLAB policy.
+func New(opts Options) *Policy {
+	return &Policy{opts: opts.withDefaults(), info: make(map[*task.Thread]*tinfo)}
+}
+
+// Name implements kernel.Scheduler.
+func (p *Policy) Name() string {
+	if p.opts.DisableScaleSlice || p.opts.LocalOnlySelector || p.opts.FlatAllocator || p.opts.DisablePull {
+		return "colab-ablated"
+	}
+	return "colab"
+}
+
+// Start implements kernel.Scheduler.
+func (p *Policy) Start(m *kernel.Machine) {
+	p.m = m
+	p.info = make(map[*task.Thread]*tinfo)
+	p.rqs = make([][]*task.Thread, len(m.Cores()))
+	p.bigIDs = m.BigCoreIDs()
+	p.littleIDs = m.LittleCoreIDs()
+	p.allIDs = p.allIDs[:0]
+	for i := range m.Cores() {
+		p.allIDs = append(p.allIDs, i)
+	}
+	if len(p.bigIDs) == 0 {
+		p.bigIDs = p.allIDs
+	}
+	if len(p.littleIDs) == 0 {
+		p.littleIDs = p.allIDs
+	}
+	p.rrBig, p.rrLittle, p.rrAll = 0, 0, 0
+	m.Engine().After(p.opts.Interval, p.label)
+}
+
+// Admit implements kernel.Scheduler.
+func (p *Policy) Admit(t *task.Thread) {
+	p.info[t] = &tinfo{label: LabelFree, pred: perfNeutral}
+}
+
+const perfNeutral = 1.5
+
+// ThreadDone implements kernel.Scheduler.
+func (p *Policy) ThreadDone(t *task.Thread) {
+	delete(p.info, t)
+}
+
+func (p *Policy) ti(t *task.Thread) *tinfo {
+	in := p.info[t]
+	if in == nil {
+		in = &tinfo{label: LabelFree, pred: perfNeutral}
+		p.info[t] = in
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Multi-factor labeler (§3.2): periodically refresh the runtime models and
+// re-tag every live thread.
+
+func (p *Policy) label() {
+	if p.m.Done() {
+		return
+	}
+	defer p.m.Engine().After(p.opts.Interval, p.label)
+	if len(p.info) == 0 {
+		return
+	}
+	preds := make([]float64, 0, len(p.info))
+	blames := make([]float64, 0, len(p.info))
+	for t, in := range p.info {
+		in.pred = p.opts.Speedup(t)
+		intervalBlame := float64(t.BlockBlame - in.lastBlame)
+		in.lastBlame = t.BlockBlame
+		in.blameEWMA = p.opts.BlameDecay*in.blameEWMA + (1-p.opts.BlameDecay)*intervalBlame
+		t.IntervalCounters = cpu.Vec{}
+		preds = append(preds, in.pred)
+		blames = append(blames, in.blameEWMA)
+	}
+	pMean, pStd := mathx.Mean(preds), mathx.Std(preds)
+	bMean := mathx.Mean(blames)
+	// Degenerate distributions (all threads alike) must not label everyone
+	// big: require a real margin above the mean.
+	highThresh := pMean + mathx.Clamp(p.opts.HighSpeedupZ*pStd, 0.02*pMean, 1)
+	lowThresh := pMean
+	for _, in := range p.info {
+		switch {
+		case in.pred >= highThresh:
+			in.label = LabelBig
+		case in.pred < lowThresh && in.blameEWMA <= 0.5*bMean:
+			in.label = LabelLittle
+		default:
+			in.label = LabelFree
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical round-robin core allocator (Alg. 1: _core_alloctor_).
+
+// Enqueue implements kernel.Scheduler.
+func (p *Policy) Enqueue(t *task.Thread, wakeup bool) int {
+	var core int
+	switch {
+	case p.opts.FlatAllocator:
+		core = p.rr(p.allIDs, &p.rrAll)
+	default:
+		switch p.ti(t).label {
+		case LabelBig:
+			core = p.rr(p.bigIDs, &p.rrBig)
+		case LabelLittle:
+			core = p.rr(p.littleIDs, &p.rrLittle)
+		default:
+			core = p.rr(p.allIDs, &p.rrAll)
+		}
+	}
+	p.rqs[core] = append(p.rqs[core], t)
+	return core
+}
+
+func (p *Policy) rr(ids []int, ctr *int) int {
+	core := ids[*ctr%len(ids)]
+	*ctr++
+	return core
+}
+
+// ---------------------------------------------------------------------------
+// Biased-global thread selector (Alg. 1: _thread_selector_).
+
+// PickNext implements kernel.Scheduler: most blocking thread from the local
+// queue, then the same-type cluster, then the other cluster; an empty big
+// core may pull a thread running on a little core.
+func (p *Policy) PickNext(c *kernel.Core) *task.Thread {
+	if t := p.takeMaxBlame(c.ID, c.ID); t != nil {
+		return t
+	}
+	if p.opts.LocalOnlySelector {
+		return nil
+	}
+	same, other := p.littleIDs, p.bigIDs
+	if c.Kind == cpu.Big {
+		same, other = p.bigIDs, p.littleIDs
+	}
+	for _, ids := range [][]int{same, other} {
+		best, bestCore := p.scanMaxBlame(ids, c)
+		if best != nil {
+			p.removeQueued(bestCore, best)
+			return best
+		}
+	}
+	if c.Kind == cpu.Big && !p.opts.DisablePull {
+		if t := p.pullFromLittle(c); t != nil {
+			return t // still Running on the little core; the kernel migrates it
+		}
+	}
+	return nil
+}
+
+// takeMaxBlame pops the most blocking thread allowed on core from queue q.
+func (p *Policy) takeMaxBlame(q, core int) *task.Thread {
+	best := -1
+	for i, t := range p.rqs[q] {
+		if !t.AllowedOn(core) {
+			continue
+		}
+		if best < 0 || p.moreCritical(t, p.rqs[q][best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := p.rqs[q][best]
+	p.rqs[q] = append(p.rqs[q][:best], p.rqs[q][best+1:]...)
+	return t
+}
+
+// scanMaxBlame finds (without removing) the most blocking stealable thread
+// across the queues of the listed cores.
+func (p *Policy) scanMaxBlame(ids []int, c *kernel.Core) (*task.Thread, int) {
+	var best *task.Thread
+	bestCore := -1
+	for _, id := range ids {
+		if id == c.ID {
+			continue
+		}
+		for _, t := range p.rqs[id] {
+			if !t.AllowedOn(c.ID) {
+				continue
+			}
+			if best == nil || p.moreCritical(t, best) {
+				best, bestCore = t, id
+			}
+		}
+	}
+	return best, bestCore
+}
+
+func (p *Policy) removeQueued(core int, t *task.Thread) {
+	q := p.rqs[core]
+	for i, o := range q {
+		if o == t {
+			p.rqs[core] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("colab: thread %v not found in cpu%d queue", t, core))
+}
+
+// moreCritical orders candidates: higher blocking blame first (bottleneck
+// acceleration), then higher predicted speedup (only meaningful when a big
+// core selects — the §3.1 "empty big core" exception), then lower vruntime.
+//
+// Blame priority only applies within a vruntime fairness window: a thread
+// that is more than FairnessWindow of (scaled) runtime ahead of a candidate
+// loses to it regardless of blame. This is the selector's side of "keeping
+// the whole workload in equal progress without penalizing any individual
+// application" (§3.1): in overloaded systems unbounded blame priority would
+// starve low-blame applications.
+func (p *Policy) moreCritical(a, b *task.Thread) bool {
+	ia, ib := p.ti(a), p.ti(b)
+	dv := a.VRuntime - b.VRuntime
+	if dv > p.opts.FairnessWindow || dv < -p.opts.FairnessWindow {
+		return dv < 0
+	}
+	if ia.blameEWMA != ib.blameEWMA {
+		return ia.blameEWMA > ib.blameEWMA
+	}
+	if ia.pred != ib.pred {
+		return ia.pred > ib.pred
+	}
+	return a.VRuntime < b.VRuntime
+}
+
+// pullFromLittle selects the most critical thread currently running on a
+// little core for migration onto the idle big core.
+func (p *Policy) pullFromLittle(c *kernel.Core) *task.Thread {
+	var best *task.Thread
+	cores := p.m.Cores()
+	for _, id := range p.littleIDs {
+		t := cores[id].Current
+		if t == nil || t.State != task.Running || !t.AllowedOn(c.ID) {
+			continue
+		}
+		if best == nil || p.moreCritical(t, best) {
+			best = t
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Scale-slice fairness (§3.2 / §4.1).
+
+// TimeSlice implements kernel.Scheduler. On big cores the slice shrinks by
+// the predicted speedup so selection triggers proportionally more often.
+func (p *Policy) TimeSlice(c *kernel.Core, t *task.Thread) sim.Time {
+	nr := len(p.rqs[c.ID]) + 1
+	slice := p.opts.TargetLatency / sim.Time(nr)
+	if slice < p.opts.MinGranularity {
+		slice = p.opts.MinGranularity
+	}
+	if c.Kind == cpu.Big && !p.opts.DisableScaleSlice {
+		pred := p.ti(t).pred
+		if pred > 1 {
+			slice = sim.Time(float64(slice) / pred)
+		}
+		if min := p.opts.MinGranularity / 2; slice < min {
+			slice = min
+		}
+	}
+	return slice
+}
+
+// VRuntimeScale implements kernel.Scheduler: big cores charge vruntime at
+// the predicted speedup so equal vruntime means equal progress.
+func (p *Policy) VRuntimeScale(c *kernel.Core, t *task.Thread) float64 {
+	if c.Kind == cpu.Big && !p.opts.DisableScaleSlice {
+		if pred := p.ti(t).pred; pred > 1 {
+			return pred
+		}
+	}
+	return 1
+}
+
+// WakeupPreempt implements kernel.Scheduler: the CFS granularity check,
+// relaxed for woken threads that are more critical than the running one.
+func (p *Policy) WakeupPreempt(c *kernel.Core, t *task.Thread) bool {
+	cur := c.Current
+	if cur == nil {
+		return false
+	}
+	vdiff := cur.VRuntime - t.VRuntime
+	if vdiff > p.opts.WakeupGranularity {
+		return true
+	}
+	return p.ti(t).blameEWMA > p.ti(cur).blameEWMA && vdiff > p.opts.WakeupGranularity/4
+}
+
+// Labels returns a snapshot of the current label of every live thread
+// (diagnostics and tests).
+func (p *Policy) Labels() map[*task.Thread]Label {
+	out := make(map[*task.Thread]Label, len(p.info))
+	for t, in := range p.info {
+		out[t] = in.label
+	}
+	return out
+}
+
+var _ kernel.Scheduler = (*Policy)(nil)

@@ -1,0 +1,189 @@
+// Package eas implements a Linux Energy-Aware-Scheduling-like policy, the
+// modern mainline answer to big.LITTLE placement and a natural extra
+// comparison point for the energy extension. On wake-up it packs work onto
+// the cheapest core that still has spare capacity — little cores cost less
+// energy per unit of work, so they fill first; load spills to big cores
+// only when the little cluster saturates or the thread's tracked
+// utilisation does not fit a little core. Below placement it is plain CFS.
+//
+// EAS optimises energy, not bottlenecks or asymmetric fairness (Table 1
+// has no row for it; it post-dates the paper) — expect lower energy than
+// CFS on light load and weaker turnaround than COLAB on contended mixes.
+package eas
+
+import (
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/sched/cfs"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// Options configure the EAS policy.
+type Options struct {
+	CFS cfs.Options
+	// Interval is the utilisation-sampling period.
+	Interval sim.Time
+	// LittleCapacity is the utilisation above which a thread no longer
+	// "fits" a little core and is up-placed (EAS's fits_capacity rule,
+	// expressed as a runnable-time fraction).
+	LittleCapacity float64
+	// LoadDecay is the EWMA retention of per-interval utilisation.
+	LoadDecay float64
+	// Power drives the energy cost comparison between clusters.
+	Power cpu.PowerModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 10 * sim.Millisecond
+	}
+	if o.LittleCapacity == 0 {
+		o.LittleCapacity = 0.8
+	}
+	if o.LoadDecay == 0 {
+		o.LoadDecay = 0.5
+	}
+	if o.Power == (cpu.PowerModel{}) {
+		o.Power = cpu.DefaultPower
+	}
+	return o
+}
+
+type info struct {
+	util     float64 // runnable-time fraction, EWMA
+	lastExec sim.Time
+	lastRdy  sim.Time
+}
+
+// Policy is the EAS-like scheduler.
+type Policy struct {
+	*cfs.Policy
+	opts    Options
+	m       *kernel.Machine
+	threads map[*task.Thread]*info
+	lastAt  sim.Time
+}
+
+// New returns an EAS policy.
+func New(opts Options) *Policy {
+	return &Policy{Policy: cfs.New(opts.CFS), opts: opts.withDefaults(), threads: make(map[*task.Thread]*info)}
+}
+
+// Name implements kernel.Scheduler.
+func (p *Policy) Name() string { return "eas" }
+
+// Start implements kernel.Scheduler.
+func (p *Policy) Start(m *kernel.Machine) {
+	p.Policy.Start(m)
+	p.m = m
+	p.threads = make(map[*task.Thread]*info)
+	p.lastAt = 0
+	m.Engine().After(p.opts.Interval, p.sample)
+}
+
+// Admit implements kernel.Scheduler.
+func (p *Policy) Admit(t *task.Thread) {
+	p.Policy.Admit(t)
+	// New threads start with modest utilisation so they begin on littles,
+	// the energy-first default.
+	p.threads[t] = &info{util: 0.4}
+}
+
+// ThreadDone implements kernel.Scheduler.
+func (p *Policy) ThreadDone(t *task.Thread) {
+	p.Policy.ThreadDone(t)
+	delete(p.threads, t)
+}
+
+func (p *Policy) sample() {
+	if p.m.Done() {
+		return
+	}
+	defer p.m.Engine().After(p.opts.Interval, p.sample)
+	now := p.m.Now()
+	wall := float64(now - p.lastAt)
+	p.lastAt = now
+	if wall <= 0 {
+		return
+	}
+	for t, in := range p.threads {
+		inst := (float64(t.SumExec-in.lastExec) + float64(t.ReadyTime-in.lastRdy)) / wall
+		in.lastExec = t.SumExec
+		in.lastRdy = t.ReadyTime
+		if inst > 1 {
+			inst = 1
+		}
+		in.util = p.opts.LoadDecay*in.util + (1-p.opts.LoadDecay)*inst
+	}
+}
+
+// Enqueue implements kernel.Scheduler: energy-aware wake-up placement.
+// Candidate order: idle littles (cheapest J per unit work), then idle bigs,
+// then the least-loaded allowed core. Threads whose utilisation exceeds the
+// little capacity skip the little cluster when a big candidate exists.
+func (p *Policy) Enqueue(t *task.Thread, wakeup bool) int {
+	core := p.pickCore(t)
+	p.Place(t, core, wakeup)
+	return core
+}
+
+func (p *Policy) pickCore(t *task.Thread) int {
+	util := 0.4
+	if in := p.threads[t]; in != nil {
+		util = in.util
+	}
+	fitsLittle := util <= p.opts.LittleCapacity
+	cores := p.m.Cores()
+
+	bestIdle := -1
+	// Pass 1: idle cores, littles preferred when the thread fits them.
+	scan := func(ids []int) int {
+		for _, id := range ids {
+			if t.AllowedOn(id) && cores[id].IsIdle() && p.QueueLen(id) == 0 {
+				return id
+			}
+		}
+		return -1
+	}
+	if fitsLittle {
+		bestIdle = scan(p.m.LittleCoreIDs())
+	}
+	if bestIdle < 0 {
+		bestIdle = scan(p.m.BigCoreIDs())
+	}
+	if bestIdle < 0 && !fitsLittle {
+		// Oversized thread, but no big core free: a little is still better
+		// than queueing behind a busy big core if one is idle.
+		bestIdle = scan(p.m.LittleCoreIDs())
+	}
+	if bestIdle >= 0 {
+		return bestIdle
+	}
+	// Pass 2: all busy — fall back to CFS least-loaded placement.
+	return p.LeastLoadedAllowed(t)
+}
+
+// PickNext implements kernel.Scheduler. Little cores behave exactly like
+// CFS. Big cores serve their own cluster's queues but pull work from the
+// little cluster only when no little core is idle — EAS suppresses
+// cross-cluster balancing while the cheap cluster still has headroom.
+func (p *Policy) PickNext(c *kernel.Core) *task.Thread {
+	if c.Kind == cpu.Little {
+		return p.Policy.PickNext(c)
+	}
+	if t := p.PopLocal(c.ID); t != nil {
+		return t
+	}
+	if t := p.StealInto(c.ID, p.m.BigCoreIDs()); t != nil {
+		return t
+	}
+	for _, id := range p.m.LittleCoreIDs() {
+		if p.m.Cores()[id].IsIdle() {
+			return nil // an idle little will pick the queued work up
+		}
+	}
+	return p.StealInto(c.ID, p.m.LittleCoreIDs())
+}
+
+var _ kernel.Scheduler = (*Policy)(nil)

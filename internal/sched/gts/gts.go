@@ -1,0 +1,141 @@
+// Package gts implements an ARM Global Task Scheduling–like policy
+// (big.LITTLE MP, Table 1 row "ARM [11]"): thread affinity follows each
+// thread's tracked load average — busy threads up-migrate to big cores,
+// mostly-waiting threads down-migrate to little cores — with hysteresis
+// thresholds. No bottleneck awareness, no asymmetric fairness. It exists as
+// the extension comparison point the paper discusses qualitatively (§2).
+package gts
+
+import (
+	"colab/internal/kernel"
+	"colab/internal/sched/cfs"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// Options configure the GTS policy.
+type Options struct {
+	CFS cfs.Options
+	// Interval is the load-sampling period.
+	Interval sim.Time
+	// UpThreshold and DownThreshold bound the hysteresis band on the
+	// runnable-fraction load average.
+	UpThreshold   float64
+	DownThreshold float64
+	// LoadDecay is the EWMA retention of the per-interval load.
+	LoadDecay float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 10 * sim.Millisecond
+	}
+	if o.UpThreshold == 0 {
+		o.UpThreshold = 0.75
+	}
+	if o.DownThreshold == 0 {
+		o.DownThreshold = 0.35
+	}
+	if o.LoadDecay == 0 {
+		o.LoadDecay = 0.5
+	}
+	return o
+}
+
+type info struct {
+	load     float64
+	lastExec sim.Time
+	lastRdy  sim.Time
+	onBig    bool
+}
+
+// Policy is the GTS-like scheduler: CFS mechanics plus load-average
+// affinity steering.
+type Policy struct {
+	*cfs.Policy
+	opts    Options
+	m       *kernel.Machine
+	threads map[*task.Thread]*info
+	lastAt  sim.Time
+
+	bigMask, littleMask uint64
+}
+
+// New returns a GTS policy.
+func New(opts Options) *Policy {
+	return &Policy{Policy: cfs.New(opts.CFS), opts: opts.withDefaults(), threads: make(map[*task.Thread]*info)}
+}
+
+// Name implements kernel.Scheduler.
+func (p *Policy) Name() string { return "gts" }
+
+// Start implements kernel.Scheduler.
+func (p *Policy) Start(m *kernel.Machine) {
+	p.Policy.Start(m)
+	p.m = m
+	p.threads = make(map[*task.Thread]*info)
+	p.lastAt = 0
+	p.bigMask = task.MaskOf(m.BigCoreIDs())
+	p.littleMask = task.MaskOf(m.LittleCoreIDs())
+	if p.littleMask == 0 {
+		p.littleMask = p.bigMask
+	}
+	m.Engine().After(p.opts.Interval, p.sample)
+}
+
+// Admit implements kernel.Scheduler.
+func (p *Policy) Admit(t *task.Thread) {
+	p.Policy.Admit(t)
+	// New threads start heavy (GTS boots threads on big): optimistic load.
+	p.threads[t] = &info{load: 1, onBig: true}
+	t.Affinity = task.AffinityAll
+}
+
+// ThreadDone implements kernel.Scheduler.
+func (p *Policy) ThreadDone(t *task.Thread) {
+	p.Policy.ThreadDone(t)
+	delete(p.threads, t)
+}
+
+func (p *Policy) sample() {
+	if p.m.Done() {
+		return
+	}
+	defer p.m.Engine().After(p.opts.Interval, p.sample)
+	now := p.m.Now()
+	wall := float64(now - p.lastAt)
+	p.lastAt = now
+	if wall <= 0 || len(p.threads) == 0 {
+		return
+	}
+	for t, in := range p.threads {
+		running := float64(t.SumExec - in.lastExec)
+		ready := float64(t.ReadyTime - in.lastRdy)
+		in.lastExec = t.SumExec
+		in.lastRdy = t.ReadyTime
+		inst := (running + ready) / wall
+		if inst > 1 {
+			inst = 1
+		}
+		in.load = p.opts.LoadDecay*in.load + (1-p.opts.LoadDecay)*inst
+		switch {
+		case !in.onBig && in.load > p.opts.UpThreshold:
+			in.onBig = true
+		case in.onBig && in.load < p.opts.DownThreshold:
+			in.onBig = false
+		}
+		mask := p.littleMask
+		if in.onBig {
+			mask = p.bigMask
+		}
+		if t.Affinity != mask {
+			t.Affinity = mask
+			if core := p.QueuedOn(t); core >= 0 && !t.AllowedOn(core) {
+				p.Dequeue(t)
+				p.m.Kick(p.Policy.Enqueue(t, false))
+			}
+		}
+	}
+}
+
+var _ kernel.Scheduler = (*Policy)(nil)

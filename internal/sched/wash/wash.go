@@ -1,0 +1,202 @@
+// Package wash re-implements the WASH scheduler (Jibaja et al., CGO 2016)
+// the way the paper does for its state-of-the-art comparison (§5.1): the
+// same multi-factor heuristic — predicted speedup, lock-blocking
+// criticality and big-core-share fairness — folded into one mixed score
+// that only steers thread *affinity*. Allocation and selection below the
+// affinity masks remain plain CFS, which is exactly the limitation COLAB's
+// coordinated allocator/selector removes.
+package wash
+
+import (
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/mathx"
+	"colab/internal/sched/cfs"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// Options configure the WASH policy.
+type Options struct {
+	CFS cfs.Options
+	// Interval is the labeling period (paper: 10 ms).
+	Interval sim.Time
+	// Speedup predicts a thread's big-vs-little speedup (trained model).
+	Speedup func(*task.Thread) float64
+	// Score weights: z(speedup), z(blocking), big-share fairness penalty.
+	SpeedupWeight float64
+	BlockWeight   float64
+	FairWeight    float64
+	// BlameDecay is the EWMA retention of per-interval blocking blame.
+	BlameDecay float64
+	// Band is the score dead-zone inside which threads keep full affinity.
+	Band float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 10 * sim.Millisecond
+	}
+	if o.Speedup == nil {
+		o.Speedup = func(*task.Thread) float64 { return 1.5 }
+	}
+	if o.SpeedupWeight == 0 {
+		o.SpeedupWeight = 1.0
+	}
+	if o.BlockWeight == 0 {
+		o.BlockWeight = 1.0
+	}
+	if o.FairWeight == 0 {
+		o.FairWeight = 0.5
+	}
+	if o.BlameDecay == 0 {
+		o.BlameDecay = 0.5
+	}
+	if o.Band == 0 {
+		o.Band = 0.4
+	}
+	return o
+}
+
+type info struct {
+	pred      float64
+	blameEWMA float64
+	lastBlame sim.Time
+	onBig     bool
+}
+
+// Policy is the WASH scheduler: CFS mechanics plus an affinity labeler.
+type Policy struct {
+	*cfs.Policy
+	opts    Options
+	m       *kernel.Machine
+	threads map[*task.Thread]*info
+
+	bigMask    uint64
+	littleMask uint64
+}
+
+// New returns a WASH policy.
+func New(opts Options) *Policy {
+	return &Policy{Policy: cfs.New(opts.CFS), opts: opts.withDefaults(), threads: make(map[*task.Thread]*info)}
+}
+
+// Name implements kernel.Scheduler.
+func (p *Policy) Name() string { return "wash" }
+
+// Start implements kernel.Scheduler.
+func (p *Policy) Start(m *kernel.Machine) {
+	p.Policy.Start(m)
+	p.m = m
+	p.threads = make(map[*task.Thread]*info)
+	p.bigMask = task.MaskOf(m.BigCoreIDs())
+	p.littleMask = task.MaskOf(m.LittleCoreIDs())
+	if p.littleMask == 0 { // symmetric all-big machine: nothing to steer
+		p.littleMask = p.bigMask
+	}
+	m.Engine().After(p.opts.Interval, p.label)
+}
+
+// Admit implements kernel.Scheduler.
+func (p *Policy) Admit(t *task.Thread) {
+	p.Policy.Admit(t)
+	p.threads[t] = &info{pred: 1.5}
+}
+
+// ThreadDone implements kernel.Scheduler.
+func (p *Policy) ThreadDone(t *task.Thread) {
+	p.Policy.ThreadDone(t)
+	delete(p.threads, t)
+}
+
+// label is the periodic WASH heuristic: one mixed multi-factor score per
+// thread, top scorers pinned to big cores, the rest to little cores.
+func (p *Policy) label() {
+	if p.m.Done() {
+		return
+	}
+	defer p.m.Engine().After(p.opts.Interval, p.label)
+	if len(p.threads) == 0 {
+		return
+	}
+	threads := make([]*task.Thread, 0, len(p.threads))
+	preds := make([]float64, 0, len(p.threads))
+	blames := make([]float64, 0, len(p.threads))
+	for t, in := range p.threads {
+		in.pred = p.opts.Speedup(t)
+		intervalBlame := float64(t.BlockBlame - in.lastBlame)
+		in.lastBlame = t.BlockBlame
+		in.blameEWMA = p.opts.BlameDecay*in.blameEWMA + (1-p.opts.BlameDecay)*intervalBlame
+		t.IntervalCounters = cpu.Vec{}
+		threads = append(threads, t)
+		preds = append(preds, in.pred)
+		blames = append(blames, in.blameEWMA)
+	}
+	pMean, pStd := mathx.Mean(preds), mathx.Std(preds)
+	bMean, bStd := mathx.Mean(blames), mathx.Std(blames)
+	for _, t := range threads {
+		in := p.threads[t]
+		score := p.opts.SpeedupWeight*zscore(in.pred, pMean, pStd) +
+			p.opts.BlockWeight*zscore(in.blameEWMA, bMean, bStd)
+		if t.SumExec > 0 {
+			bigShare := float64(t.SumExecBig) / float64(t.SumExec)
+			score -= p.opts.FairWeight * (2*bigShare - 1)
+		}
+		// WASH's characteristic behaviour: every thread that looks like a
+		// bottleneck is pushed to the big cores in addition to the high
+		// scorers — the over-crowding COLAB's motivating example targets.
+		// Threads with no clear signal keep full affinity (the heuristic
+		// only *biases* placement; undifferentiated threads are left to the
+		// underlying Linux scheduler).
+		bottleneck := in.blameEWMA > bMean && in.blameEWMA > 0
+		switch {
+		case score > p.opts.Band || bottleneck:
+			p.setAffinity(t, affBig)
+		case score < -p.opts.Band:
+			p.setAffinity(t, affLittle)
+		default:
+			p.setAffinity(t, affAll)
+		}
+	}
+}
+
+func zscore(v, mean, std float64) float64 {
+	if std < 1e-12 {
+		return 0
+	}
+	return (v - mean) / std
+}
+
+type affinity int
+
+const (
+	affAll affinity = iota
+	affBig
+	affLittle
+)
+
+func (p *Policy) setAffinity(t *task.Thread, a affinity) {
+	in := p.threads[t]
+	var mask uint64
+	switch a {
+	case affBig:
+		mask = p.bigMask
+	case affLittle:
+		mask = p.littleMask
+	default:
+		mask = task.AffinityAll
+	}
+	if t.Affinity == mask {
+		return
+	}
+	in.onBig = a == affBig
+	t.Affinity = mask
+	// Re-place queued threads whose queue no longer matches the mask, the
+	// effect sched_setaffinity has on a waiting task.
+	if core := p.QueuedOn(t); core >= 0 && !t.AllowedOn(core) {
+		p.Dequeue(t)
+		p.m.Kick(p.Policy.Enqueue(t, false))
+	}
+}
+
+var _ kernel.Scheduler = (*Policy)(nil)

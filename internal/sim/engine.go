@@ -1,0 +1,188 @@
+// Package sim is a deterministic discrete-event simulation engine. It stands
+// in for gem5's event-driven core: the kernel model, the cores and the
+// periodic scheduler machinery all advance by scheduling callbacks on a
+// single virtual clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Convenient durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time with a readable unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time in milliseconds as a float.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Event is a scheduled callback. Events are single-shot; cancelling an event
+// that already fired is a no-op.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break: FIFO among equal timestamps
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// At returns the time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the event loop. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Processed counts fired (non-cancelled) events, for tests and stats.
+	Processed uint64
+	// PostStep, when set, runs after every event handler returns — the
+	// machine is in a consistent between-events state there. Used by
+	// validation harnesses (kernel.CheckInvariants); nil in production.
+	PostStep func()
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t (>= Now) and returns a cancellable
+// handle. Scheduling in the past panics: it would silently corrupt
+// causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel deactivates ev. Safe to call on nil, already-cancelled or
+// already-fired events.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// Stop makes the current Run call return after the in-flight event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next pending event. It reports whether an event fired
+// (false when the queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.Processed++
+		ev.fn()
+		if e.PostStep != nil {
+			e.PostStep()
+		}
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains, Stop is called, or the event
+// budget maxEvents is exhausted (0 means unlimited). It returns the number
+// of events fired.
+func (e *Engine) Run(maxEvents uint64) uint64 {
+	e.stopped = false
+	var fired uint64
+	for !e.stopped {
+		if maxEvents > 0 && fired >= maxEvents {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		fired++
+	}
+	return fired
+}
+
+// RunUntil fires events with timestamps <= deadline, leaving later events
+// queued, and advances the clock to deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }

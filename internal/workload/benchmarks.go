@@ -1,0 +1,375 @@
+package workload
+
+import (
+	"fmt"
+
+	"colab/internal/task"
+)
+
+// All returns the fifteen benchmarks of Table 3 in paper order, with the
+// paper's synchronisation-rate and communication/computation categories.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "blackscholes", Suite: "parsec",
+			SyncRate: RateLow, CommComp: RateHigh,
+			DefaultThreads: 4,
+			gen:            genBlackscholes,
+		},
+		{
+			Name: "bodytrack", Suite: "parsec",
+			SyncRate: RateMedium, CommComp: RateHigh,
+			DefaultThreads: 4,
+			gen:            genBodytrack,
+		},
+		{
+			Name: "dedup", Suite: "parsec",
+			SyncRate: RateMedium, CommComp: RateHigh,
+			DefaultThreads: 4,
+			gen:            genDedup,
+		},
+		{
+			Name: "ferret", Suite: "parsec",
+			SyncRate: RateHigh, CommComp: RateMedium,
+			DefaultThreads: 4,
+			gen:            genFerret,
+		},
+		{
+			Name: "fluidanimate", Suite: "parsec",
+			SyncRate: RateVeryHigh, CommComp: RateLow,
+			DefaultThreads: 4,
+			gen:            genFluidanimate,
+		},
+		{
+			Name: "freqmine", Suite: "parsec",
+			SyncRate: RateHigh, CommComp: RateHigh,
+			DefaultThreads: 4,
+			gen:            genFreqmine,
+		},
+		{
+			Name: "swaptions", Suite: "parsec",
+			SyncRate: RateLow, CommComp: RateLow,
+			DefaultThreads: 4,
+			gen:            genSwaptions,
+		},
+		{
+			Name: "radix", Suite: "splash2",
+			SyncRate: RateLow, CommComp: RateHigh,
+			DefaultThreads: 4,
+			gen:            genRadix,
+		},
+		{
+			Name: "lu_ncb", Suite: "splash2",
+			SyncRate: RateLow, CommComp: RateLow,
+			DefaultThreads: 4,
+			gen:            genLuNCB,
+		},
+		{
+			Name: "lu_cb", Suite: "splash2",
+			SyncRate: RateLow, CommComp: RateLow,
+			DefaultThreads: 4,
+			gen:            genLuCB,
+		},
+		{
+			Name: "ocean_cp", Suite: "splash2",
+			SyncRate: RateLow, CommComp: RateLow,
+			DefaultThreads: 4,
+			gen:            genOceanCP,
+		},
+		{
+			Name: "water_nsquared", Suite: "splash2",
+			SyncRate: RateMedium, CommComp: RateMedium,
+			MaxThreads: 2, DefaultThreads: 2,
+			gen: genWaterNsquared,
+		},
+		{
+			Name: "water_spatial", Suite: "splash2",
+			SyncRate: RateLow, CommComp: RateLow,
+			MaxThreads: 2, DefaultThreads: 2,
+			gen: genWaterSpatial,
+		},
+		{
+			Name: "fmm", Suite: "splash2",
+			SyncRate: RateMedium, CommComp: RateLow,
+			MaxThreads: 2, DefaultThreads: 2,
+			gen: genFMM,
+		},
+		{
+			Name: "fft", Suite: "splash2",
+			SyncRate: RateLow, CommComp: RateHigh,
+			DefaultThreads: 4,
+			gen:            genFFT,
+		},
+	}
+}
+
+// --- PARSEC ----------------------------------------------------------------
+
+// blackscholes: embarrassingly parallel option pricing over a few
+// barrier-separated sweeps; high-ILP FP kernels make every thread strongly
+// core-sensitive.
+func genBlackscholes(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:    6,
+		phaseWork: 50 * ms,
+		imbalance: 0.08,
+		profile:   computeProfile,
+	})
+}
+
+// bodytrack: per-frame fork/join around a serial tracking step on the main
+// thread — the main thread is the recurring bottleneck the AMP-aware
+// schedulers should accelerate.
+func genBodytrack(ab *appBuilder, n int) {
+	const frames = 22
+	if n == 1 {
+		var ops task.Program
+		for f := 0; f < frames; f++ {
+			ops = append(ops, task.Compute{Work: ab.rng.Jitter(34*ms, 0.1)})
+		}
+		ab.thread("main", branchyProfile(ab.rng), ops)
+		return
+	}
+	barA, barB := ab.id(), ab.id()
+	parallelShare := 30 * ms / float64(n)
+	// Main thread: serial stage, release workers, join.
+	var main task.Program
+	for f := 0; f < frames; f++ {
+		main = append(main,
+			task.Compute{Work: ab.rng.Jitter(4*ms, 0.15)}, // serial tracking step
+			task.Barrier{ID: barA, Parties: n},
+			task.Compute{Work: ab.rng.Jitter(parallelShare, 0.1)},
+			task.Barrier{ID: barB, Parties: n},
+		)
+	}
+	ab.thread("main", branchyProfile(ab.rng), main)
+	for i := 1; i < n; i++ {
+		var ops task.Program
+		for f := 0; f < frames; f++ {
+			ops = append(ops,
+				task.Barrier{ID: barA, Parties: n},
+				task.Compute{Work: ab.rng.Jitter(parallelShare, 0.1)},
+				task.Barrier{ID: barB, Parties: n},
+			)
+		}
+		ab.thread(fmt.Sprintf("w%d", i), balancedProfile(ab.rng), ops)
+	}
+}
+
+// dedup: the 5-stage deduplication pipeline (fragment, refine, hash,
+// compress, reorder) over bounded queues. Stage kernels differ sharply in
+// core sensitivity, which is what makes coordinated allocation pay off.
+func genDedup(ab *appBuilder, n int) {
+	buildPipeline(ab, n, []stageSpec{
+		{name: "frag", workItem: 1.2 * ms, profile: memoryProfile},
+		{name: "refine", workItem: 2.8 * ms, profile: balancedProfile},
+		{name: "hash", workItem: 4.5 * ms, profile: computeProfile},
+		{name: "comp", workItem: 3.6 * ms, profile: computeProfile},
+		{name: "reorder", workItem: 1.4 * ms, profile: memoryProfile},
+	}, 96, 4)
+}
+
+// ferret: the 6-stage similarity-search pipeline; the rank stage dominates
+// per-item cost (the unbalanced-stage example of §5.2, where COLAB gets its
+// largest single-program win).
+func genFerret(ab *appBuilder, n int) {
+	buildPipeline(ab, n, []stageSpec{
+		{name: "load", workItem: 0.9 * ms, profile: memoryProfile},
+		{name: "seg", workItem: 2.4 * ms, profile: balancedProfile},
+		{name: "extract", workItem: 3.2 * ms, profile: computeProfile},
+		{name: "vec", workItem: 2.6 * ms, profile: computeProfile},
+		{name: "rank", workItem: 7.5 * ms, profile: computeProfile},
+		{name: "out", workItem: 0.8 * ms, profile: memoryProfile},
+	}, 90, 4)
+}
+
+// fluidanimate: particle simulation with fine-grained cell locks — about
+// two orders of magnitude more lock acquisitions than the other PARSEC
+// apps (§5.2), hence "very high" sync rate.
+func genFluidanimate(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:     8,
+		phaseWork:  30 * ms,
+		imbalance:  0.10,
+		locksPer:   60,
+		csWork:     0.03 * ms,
+		lockSpread: 6,
+		profile:    balancedProfile,
+	})
+}
+
+// freqmine: FP-growth mining as a master/worker task queue; branchy tree
+// traversal with contended task dispatch.
+func genFreqmine(ab *appBuilder, n int) {
+	const tasks = 110
+	if n == 1 {
+		var ops task.Program
+		for i := 0; i < tasks; i++ {
+			ops = append(ops, task.Compute{Work: ab.rng.Jitter(2.6*ms, 0.5)})
+		}
+		ab.thread("main", branchyProfile(ab.rng), ops)
+		return
+	}
+	q := ab.queue(8)
+	workers := n - 1
+	// Master: grows the FP-tree (serial-ish) while feeding the queue.
+	var master task.Program
+	for i := 0; i < tasks; i++ {
+		master = append(master,
+			task.Compute{Work: ab.rng.Jitter(0.5*ms, 0.4)},
+			task.Put{ID: q},
+		)
+	}
+	ab.thread("master", branchyProfile(ab.rng), master)
+	shares := splitShares(tasks, workers)
+	for i := 0; i < workers; i++ {
+		var ops task.Program
+		for k := 0; k < shares[i]; k++ {
+			ops = append(ops,
+				task.Get{ID: q},
+				task.Compute{Work: ab.rng.Jitter(2.4*ms, 0.6)},
+			)
+		}
+		ab.thread(fmt.Sprintf("w%d", i+1), branchyProfile(ab.rng), ops)
+	}
+}
+
+// swaptions: fully independent Monte-Carlo pricing, no synchronisation at
+// all. The heaviest thread is deliberately core-insensitive while the light
+// threads are core-sensitive — the paper's ideal-for-WASH case where COLAB
+// only matches Linux (§5.2).
+func genSwaptions(ab *appBuilder, n int) {
+	for i := 0; i < n; i++ {
+		work := 70 * ms
+		prof := computeProfile(ab.rng)
+		if i == 0 {
+			work *= 1.6 // bottleneck-by-imbalance
+			prof = memoryProfile(ab.rng)
+		}
+		var ops task.Program
+		for k := 0; k < 4; k++ {
+			ops = append(ops, task.Compute{Work: ab.rng.Jitter(work/4, 0.1)})
+		}
+		ab.thread(fmt.Sprintf("w%d", i), prof, ops)
+	}
+}
+
+// --- SPLASH-2 ---------------------------------------------------------------
+
+// radix: counting/permutation sort rounds; permutation traffic is
+// memory-bound (little speedup), with frequent barrier exchanges.
+func genRadix(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:    14,
+		phaseWork: 18 * ms,
+		imbalance: 0.08,
+		profile:   memoryProfile,
+	})
+}
+
+// lu_ncb: blocked LU without contiguous allocation — poorer locality, more
+// memory-bound, shrinking parallel sections as factorisation proceeds.
+func genLuNCB(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:    16,
+		phaseWork: 32 * ms,
+		imbalance: 0.20,
+		decay:     true,
+		profile:   memoryProfile,
+	})
+}
+
+// lu_cb: contiguous-block LU — cache-friendly compute kernels with the
+// same shrinking-phase structure.
+func genLuCB(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:    16,
+		phaseWork: 30 * ms,
+		imbalance: 0.20,
+		decay:     true,
+		profile:   computeProfile,
+	})
+}
+
+// ocean_cp: red-black Gauss-Seidel time steps on grids; bandwidth-bound
+// with many short barrier-separated sweeps.
+func genOceanCP(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:    20,
+		phaseWork: 15 * ms,
+		imbalance: 0.06,
+		profile:   memoryProfile,
+	})
+}
+
+// water_nsquared: O(n^2) molecular dynamics with per-molecule locks each
+// step (medium sync). Limited to 2 threads under simsmall.
+func genWaterNsquared(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:     6,
+		phaseWork:  40 * ms,
+		imbalance:  0.10,
+		locksPer:   12,
+		csWork:     0.08 * ms,
+		lockSpread: 4,
+		profile:    computeProfile,
+	})
+}
+
+// water_spatial: spatial-decomposition water — same physics, barriers only
+// (low sync). Limited to 2 threads under simsmall.
+func genWaterSpatial(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:    6,
+		phaseWork: 40 * ms,
+		imbalance: 0.12,
+		locksPer:  2,
+		csWork:    0.05 * ms,
+		profile:   computeProfile,
+	})
+}
+
+// fmm: adaptive fast multipole — tree imbalance skews the leader thread,
+// moderate locking. Limited to 2 threads under simsmall.
+func genFMM(ab *appBuilder, n int) {
+	buildDataParallel(ab, n, dpOptions{
+		phases:     6,
+		phaseWork:  38 * ms,
+		imbalance:  0.18,
+		skewFirst:  1.35,
+		locksPer:   6,
+		csWork:     0.06 * ms,
+		lockSpread: 3,
+		profile:    balancedProfile,
+	})
+}
+
+// fft: six-step FFT alternating compute butterflies with all-to-all
+// transposes. The transposes are genuine phase changes: each thread flips
+// between a compute-bound and a memory-bound profile, which is exactly the
+// behaviour that forces the speedup model to predict from fresh interval
+// counters rather than lifetime averages.
+func genFFT(ab *appBuilder, n int) {
+	bar := ab.id()
+	const steps = 5
+	for i := 0; i < n; i++ {
+		butterfly := computeProfile(ab.rng)
+		transpose := memoryProfile(ab.rng)
+		var ops task.Program
+		for s := 0; s < steps; s++ {
+			ops = append(ops,
+				task.Phase{Profile: butterfly},
+				task.Compute{Work: ab.rng.Jitter(28*ms, 0.07)})
+			if n > 1 {
+				ops = append(ops, task.Barrier{ID: bar, Parties: n})
+			}
+			ops = append(ops,
+				task.Phase{Profile: transpose},
+				task.Compute{Work: ab.rng.Jitter(14*ms, 0.07)})
+			if n > 1 {
+				ops = append(ops, task.Barrier{ID: bar, Parties: n})
+			}
+		}
+		ab.thread(fmt.Sprintf("w%d", i), butterfly, ops)
+	}
+}

@@ -1,0 +1,381 @@
+// Package workload provides synthetic stand-ins for the paper's PARSEC 3.0
+// and SPLASH-2 benchmarks (Table 3) and the 26 multi-programmed workload
+// compositions built from them (Table 4).
+//
+// Each benchmark is a parametric generator: given a thread count and a
+// seed, it emits a task.App whose threads reproduce the benchmark's
+// published parallel structure (data-parallel barrier phases, pipelines
+// over bounded queues, lock-heavy particle updates), its synchronisation
+// rate and communication/computation ratio, and a plausible spread of
+// per-thread core sensitivity. Schedulers only ever observe the emergent
+// blocking patterns and performance counters, so matching this structure is
+// what exercises the paper's policy code paths.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"colab/internal/cpu"
+	"colab/internal/mathx"
+	"colab/internal/task"
+)
+
+// Rate classifies synchronisation intensity (Table 3 vocabulary).
+type Rate string
+
+// Table 3 rate values.
+const (
+	RateLow      Rate = "low"
+	RateMedium   Rate = "medium"
+	RateHigh     Rate = "high"
+	RateVeryHigh Rate = "very high"
+)
+
+// Benchmark is one synthetic benchmark generator plus its Table 3
+// categorisation.
+type Benchmark struct {
+	Name string
+	// Suite is "parsec" or "splash2".
+	Suite string
+	// SyncRate is the synchronisation intensity (Table 3).
+	SyncRate Rate
+	// CommComp is the communication-to-computation ratio (Table 3).
+	CommComp Rate
+	// MaxThreads caps the thread count (the three SPLASH-2 kernels that do
+	// not scale past 2 threads with simsmall inputs, §5.2). 0 = unlimited.
+	MaxThreads int
+	// DefaultThreads is the single-program thread count (Figure 4 uses the
+	// simsmall defaults on a 4-core machine).
+	DefaultThreads int
+
+	gen func(ab *appBuilder, n int)
+}
+
+// Instantiate builds a fresh App with n threads (clamped to the
+// benchmark's supported range) using a deterministic seed. appID must be
+// unique within one workload: the kernel scopes futexes by it.
+func (b Benchmark) Instantiate(appID, n int, rng *mathx.RNG) *task.App {
+	if n < 1 {
+		n = 1
+	}
+	if b.MaxThreads > 0 && n > b.MaxThreads {
+		n = b.MaxThreads
+	}
+	app := &task.App{ID: appID, Name: b.Name}
+	ab := &appBuilder{app: app, rng: rng.Fork(uint64(appID)*7919 + 13)}
+	b.gen(ab, n)
+	if len(app.Threads) != n {
+		panic(fmt.Sprintf("workload: %s generator emitted %d threads, want %d", b.Name, len(app.Threads), n))
+	}
+	return app
+}
+
+// ByName looks a benchmark up by name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns all benchmark names in Table 3 order.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// SingleProgram builds a workload holding one benchmark instance, the
+// configuration Figure 4 evaluates.
+func SingleProgram(bench string, threads int, seed uint64) (*task.Workload, error) {
+	b, ok := ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", bench)
+	}
+	rng := mathx.NewRNG(seed)
+	app := b.Instantiate(0, threads, rng)
+	return &task.Workload{Name: bench, Apps: []*task.App{app}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Builder plumbing shared by the generators.
+
+// ms is one millisecond of little-core work in work units (work units are
+// little-core nanoseconds).
+const ms = 1e6
+
+type appBuilder struct {
+	app    *task.App
+	rng    *mathx.RNG
+	nextID int
+}
+
+func (ab *appBuilder) id() int {
+	ab.nextID++
+	return ab.nextID
+}
+
+func (ab *appBuilder) queue(capacity int) int {
+	id := ab.id()
+	ab.app.Queues = append(ab.app.Queues, task.QueueSpec{ID: id, Capacity: capacity})
+	return id
+}
+
+func (ab *appBuilder) thread(name string, prof cpu.WorkProfile, prog task.Program) *task.Thread {
+	t := &task.Thread{
+		App:     ab.app,
+		Name:    name,
+		Profile: prof.Clamp(),
+		Program: prog,
+	}
+	ab.app.Threads = append(ab.app.Threads, t)
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Work profiles. Each returns a jittered instance of a microarchitectural
+// archetype; TrueSpeedup ranges are noted for orientation.
+
+// computeProfile: high-ILP floating-point kernels (~2.3-2.8x on big).
+func computeProfile(rng *mathx.RNG) cpu.WorkProfile {
+	return cpu.WorkProfile{
+		ILP:           rng.Range(0.70, 0.95),
+		BranchRate:    rng.Range(0.05, 0.12),
+		MemIntensity:  rng.Range(0.05, 0.20),
+		StoreRate:     rng.Range(0.10, 0.30),
+		FPRate:        rng.Range(0.45, 0.80),
+		CodeFootprint: rng.Range(0.10, 0.30),
+	}
+}
+
+// memoryProfile: bandwidth/latency-bound streaming (~1.1-1.5x on big).
+func memoryProfile(rng *mathx.RNG) cpu.WorkProfile {
+	return cpu.WorkProfile{
+		ILP:           rng.Range(0.10, 0.35),
+		BranchRate:    rng.Range(0.04, 0.10),
+		MemIntensity:  rng.Range(0.65, 0.95),
+		StoreRate:     rng.Range(0.30, 0.60),
+		FPRate:        rng.Range(0.10, 0.35),
+		CodeFootprint: rng.Range(0.10, 0.40),
+	}
+}
+
+// balancedProfile: mixed integer workloads (~1.7-2.2x on big).
+func balancedProfile(rng *mathx.RNG) cpu.WorkProfile {
+	return cpu.WorkProfile{
+		ILP:           rng.Range(0.40, 0.70),
+		BranchRate:    rng.Range(0.08, 0.16),
+		MemIntensity:  rng.Range(0.25, 0.50),
+		StoreRate:     rng.Range(0.15, 0.40),
+		FPRate:        rng.Range(0.20, 0.50),
+		CodeFootprint: rng.Range(0.20, 0.50),
+	}
+}
+
+// branchyProfile: control-heavy code, e.g. tree mining (~2.0-2.5x on big).
+func branchyProfile(rng *mathx.RNG) cpu.WorkProfile {
+	return cpu.WorkProfile{
+		ILP:           rng.Range(0.50, 0.80),
+		BranchRate:    rng.Range(0.16, 0.28),
+		MemIntensity:  rng.Range(0.20, 0.40),
+		StoreRate:     rng.Range(0.10, 0.30),
+		FPRate:        rng.Range(0.05, 0.25),
+		CodeFootprint: rng.Range(0.40, 0.80),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Structural program builders.
+
+// dpOptions parameterises a barrier-phased data-parallel program.
+type dpOptions struct {
+	phases     int
+	phaseWork  float64 // mean work units per thread per phase
+	imbalance  float64 // per-thread-phase work jitter amplitude
+	decay      bool    // SPLASH-2 LU-style shrinking parallel sections
+	locksPer   int     // critical sections per phase
+	csWork     float64 // work inside each critical section
+	lockSpread int     // number of distinct locks (contention knob)
+	profile    func(*mathx.RNG) cpu.WorkProfile
+	// skewFirst multiplies thread 0's work (serial-ish leader), 0 = off.
+	skewFirst float64
+}
+
+// buildDataParallel emits n threads running `phases` barrier-separated
+// phases. Critical sections inside a phase hit a random lock from the
+// spread, producing futex blocking blame proportional to the sync rate.
+func buildDataParallel(ab *appBuilder, n int, o dpOptions) {
+	if o.lockSpread < 1 {
+		o.lockSpread = 1
+	}
+	bar := ab.id()
+	locks := make([]int, o.lockSpread)
+	for i := range locks {
+		locks[i] = ab.id()
+	}
+	for i := 0; i < n; i++ {
+		prof := o.profile(ab.rng)
+		var ops task.Program
+		for ph := 0; ph < o.phases; ph++ {
+			w := ab.rng.Jitter(o.phaseWork, o.imbalance)
+			if o.decay {
+				w *= float64(o.phases-ph) / float64(o.phases)
+			}
+			if i == 0 && o.skewFirst > 0 {
+				w *= o.skewFirst
+			}
+			if o.locksPer > 0 && n > 1 {
+				per := w / float64(o.locksPer+1)
+				for l := 0; l < o.locksPer; l++ {
+					lk := locks[ab.rng.IntN(len(locks))]
+					ops = append(ops,
+						task.Compute{Work: per},
+						task.Lock{ID: lk},
+						task.Compute{Work: ab.rng.Jitter(o.csWork, 0.3)},
+						task.Unlock{ID: lk},
+					)
+				}
+				ops = append(ops, task.Compute{Work: per})
+			} else {
+				ops = append(ops, task.Compute{Work: w})
+			}
+			if n > 1 {
+				ops = append(ops, task.Barrier{ID: bar, Parties: n})
+			}
+		}
+		ab.thread(fmt.Sprintf("w%d", i), prof, ops)
+	}
+}
+
+// stageSpec describes one pipeline stage.
+type stageSpec struct {
+	name     string
+	workItem float64 // work units per item
+	profile  func(*mathx.RNG) cpu.WorkProfile
+}
+
+// buildPipeline emits an items-through-stages pipeline over bounded queues
+// (the dedup/ferret structure). Threads are spread one per stage first,
+// then round-robin; with fewer threads than stages, adjacent stages merge
+// (as the real benchmarks do at low thread counts).
+func buildPipeline(ab *appBuilder, n int, stages []stageSpec, items, qcap int) {
+	if n == 1 {
+		// Sequential fallback: all stages fused into one thread.
+		total := 0.0
+		for _, s := range stages {
+			total += s.workItem
+		}
+		var ops task.Program
+		for it := 0; it < items; it++ {
+			ops = append(ops, task.Compute{Work: ab.rng.Jitter(total, 0.2)})
+		}
+		ab.thread("s0", stages[0].profile(ab.rng), ops)
+		return
+	}
+	// Merge adjacent stages down to at most n effective stages.
+	eff := mergeStages(stages, minInt(len(stages), n))
+	// Thread counts per effective stage: one each, extras round-robin over
+	// the interior (parallelisable) stages, matching PARSEC pipelines.
+	counts := make([]int, len(eff))
+	for i := range counts {
+		counts[i] = 1
+	}
+	extra := n - len(eff)
+	for i := 0; extra > 0; i++ {
+		idx := 0
+		if len(eff) > 2 {
+			idx = 1 + i%(len(eff)-2) // interior stages only
+		} else {
+			idx = i % len(eff)
+		}
+		counts[idx]++
+		extra--
+	}
+	queues := make([]int, len(eff)-1)
+	for i := range queues {
+		queues[i] = ab.queue(qcap)
+	}
+	tid := 0
+	for s, spec := range eff {
+		shares := splitShares(items, counts[s])
+		for k := 0; k < counts[s]; k++ {
+			prof := spec.profile(ab.rng)
+			var ops task.Program
+			for it := 0; it < shares[k]; it++ {
+				if s > 0 {
+					ops = append(ops, task.Get{ID: queues[s-1]})
+				}
+				ops = append(ops, task.Compute{Work: ab.rng.Jitter(spec.workItem, 0.35)})
+				if s < len(eff)-1 {
+					ops = append(ops, task.Put{ID: queues[s]})
+				}
+			}
+			ab.thread(fmt.Sprintf("%s%d", spec.name, k), prof, ops)
+			tid++
+		}
+	}
+}
+
+// mergeStages combines adjacent stages into k groups, summing per-item work
+// and keeping the heaviest member's profile and name.
+func mergeStages(stages []stageSpec, k int) []stageSpec {
+	if k >= len(stages) {
+		return stages
+	}
+	out := make([]stageSpec, 0, k)
+	base := len(stages) / k
+	rem := len(stages) % k
+	idx := 0
+	for g := 0; g < k; g++ {
+		size := base
+		if g < rem {
+			size++
+		}
+		merged := stages[idx]
+		for j := idx + 1; j < idx+size; j++ {
+			merged.workItem += stages[j].workItem
+			if stages[j].workItem > stages[idx].workItem {
+				merged.name = stages[j].name
+				merged.profile = stages[j].profile
+			}
+		}
+		out = append(out, merged)
+		idx += size
+	}
+	return out
+}
+
+// splitShares divides items across k threads as evenly as possible.
+func splitShares(items, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = items / k
+	}
+	for i := 0; i < items%k; i++ {
+		out[i]++
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SortedThreadWork is a debugging helper: total per-thread work in the app,
+// descending. Used by characterisation tooling and tests.
+func SortedThreadWork(a *task.App) []float64 {
+	var out []float64
+	for _, t := range a.Threads {
+		out = append(out, t.Program.TotalWork())
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,56 @@
+package colab_test
+
+import (
+	"testing"
+
+	colab "colab"
+)
+
+func TestRunTracedStreamsEvents(t *testing.T) {
+	w, err := colab.BuildBenchmark("swaptions", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	res, err := colab.RunTraced(colab.Config2B2S, colab.NewLinux(), w, func(e colab.TraceEvent) {
+		counts[string(e.Kind)]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["dispatch"] == 0 {
+		t.Fatalf("no dispatch events traced: %v", counts)
+	}
+	if counts["done"] != 4 {
+		t.Fatalf("done events = %d, want 4", counts["done"])
+	}
+	if res.Makespan() <= 0 {
+		t.Fatalf("run produced no result")
+	}
+}
+
+func TestCustomWorkloadThroughFacade(t *testing.T) {
+	// Author a two-stage pipeline directly against the public DSL.
+	app := &colab.App{ID: 0, Name: "custom", Queues: []colab.QueueSpec{{ID: 1, Capacity: 2}}}
+	hot := colab.WorkProfile{ILP: 0.9, MemIntensity: 0.1, FPRate: 0.5}
+	var prod, cons colab.Program
+	for i := 0; i < 10; i++ {
+		prod = append(prod, colab.Compute{Work: 1e6}, colab.Put{ID: 1})
+		cons = append(cons, colab.Get{ID: 1}, colab.Compute{Work: 2e6})
+	}
+	app.Threads = []*colab.Thread{
+		{App: app, Name: "prod", Profile: hot, Program: prod},
+		{App: app, Name: "cons", Profile: hot, Program: cons},
+	}
+	w := &colab.Workload{Name: "custom", Apps: []*colab.App{app}}
+	res, err := colab.Run(colab.NewConfig(1, 1, true), colab.NewCOLAB(nil), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergyJ() <= 0 {
+		t.Fatalf("energy accounting missing")
+	}
+	if tt, ok := res.AppTurnaround("custom"); !ok || tt <= 0 {
+		t.Fatalf("custom app did not run")
+	}
+}
