@@ -1,7 +1,7 @@
 // Command colab-bench regenerates the paper's evaluation artefacts: the
 // Table 2 speedup model, the Figure 4 single-program study, the class
-// figures 5-7, the regroupings of figures 8-9, the 312-experiment summary
-// and the extension ablations.
+// figures 5-7, the regroupings of figures 8-9, the 312-experiment summary,
+// the extension ablations and the tri-gear multi-tier study.
 //
 // Usage:
 //
@@ -9,11 +9,13 @@
 //	colab-bench -fig 5       # one figure
 //	colab-bench -summary     # just the closing aggregate
 //	colab-bench -ablation    # design-choice ablations
+//	colab-bench -trigear     # five policies on the 2B2M2S machine
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -38,21 +40,33 @@ func tableJob(name string, f func() (*experiment.Table, error)) job {
 }
 
 func main() {
-	fig := flag.Int("fig", 0, "regenerate a single figure (4-9)")
-	summary := flag.Bool("summary", false, "regenerate only the 312-experiment summary")
-	ablation := flag.Bool("ablation", false, "run the COLAB design-choice ablations")
-	energy := flag.Bool("energy", false, "run the energy/EDP extension table")
-	replication := flag.Bool("replication", false, "run the multi-seed variance table")
-	detail := flag.Bool("detail", false, "print every per-workload cell of the matrix")
-	tables := flag.Bool("tables", false, "regenerate only tables 2-4")
-	csvPath := flag.String("csv", "", "also export the full 26x4 matrix as CSV to this file")
-	seed := flag.Uint64("seed", 1, "workload generation seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "colab-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("colab-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "regenerate a single figure (4-9)")
+	summary := fs.Bool("summary", false, "regenerate only the 312-experiment summary")
+	ablation := fs.Bool("ablation", false, "run the COLAB design-choice ablations")
+	energy := fs.Bool("energy", false, "run the energy/EDP extension table")
+	trigear := fs.Bool("trigear", false, "run the tri-gear (2B2M2S) five-policy extension table")
+	replication := fs.Bool("replication", false, "run the multi-seed variance table")
+	detail := fs.Bool("detail", false, "print every per-workload cell of the matrix")
+	tables := fs.Bool("tables", false, "regenerate only tables 2-4")
+	csvPath := fs.String("csv", "", "also export the full 26x4 matrix as CSV to this file")
+	seed := fs.Uint64("seed", 1, "workload generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	start := time.Now()
 	r, err := experiment.NewRunner(*seed)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 
 	all := []job{
@@ -68,6 +82,7 @@ func main() {
 		tableJob("summary", r.Summary),
 		tableJob("ablation", r.Ablation),
 		tableJob("energy", r.EnergyTable),
+		tableJob("trigear", r.TriGearTable),
 		tableJob("replication", func() (*experiment.Table, error) {
 			return experiment.ReplicationTable(nil)
 		}),
@@ -84,6 +99,8 @@ func main() {
 		names = []string{"ablation"}
 	case *energy:
 		names = []string{"energy"}
+	case *trigear:
+		names = []string{"trigear"}
 	case *replication:
 		names = []string{"replication"}
 	case *detail:
@@ -104,19 +121,19 @@ func main() {
 		cells, err := r.RunMatrix(workload.Compositions(), cpu.EvaluatedConfigs(),
 			[]string{experiment.SchedWASH, experiment.SchedCOLAB})
 		if err != nil {
-			fail("csv export: %v", err)
+			return fmt.Errorf("csv export: %w", err)
 		}
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fail("csv export: %v", err)
+			return fmt.Errorf("csv export: %w", err)
 		}
 		if err := experiment.WriteCellsCSV(f, cells); err != nil {
-			fail("csv export: %v", err)
+			return fmt.Errorf("csv export: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			fail("csv export: %v", err)
+			return fmt.Errorf("csv export: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "colab-bench: wrote %s\n", *csvPath)
+		fmt.Fprintf(stderr, "colab-bench: wrote %s\n", *csvPath)
 	}
 
 	ran := 0
@@ -127,19 +144,15 @@ func main() {
 			}
 			out, err := j.run()
 			if err != nil {
-				fail("%s: %v", j.name, err)
+				return fmt.Errorf("%s: %w", j.name, err)
 			}
-			fmt.Println(out)
+			fmt.Fprintln(stdout, out)
 			ran++
 		}
 	}
 	if ran == 0 {
-		fail("nothing selected (unknown figure?)")
+		return fmt.Errorf("nothing selected (unknown figure?)")
 	}
-	fmt.Fprintf(os.Stderr, "colab-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "colab-bench: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "colab-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-tables"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Table 2", "Table 3", "Table 4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTriGear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tri-gear table is not -short")
+	}
+	var out, errb strings.Builder
+	if err := run([]string{"-trigear"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Tri-gear extension", "2B2M2S", "colab", "eas"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-fig", "99"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "nothing selected") {
+		t.Errorf("want nothing-selected error, got %v", err)
+	}
+}

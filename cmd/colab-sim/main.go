@@ -4,12 +4,13 @@
 // Usage:
 //
 //	colab-sim -workload Sync-2 -config 2B2S -sched colab
-//	colab-sim -bench ferret -threads 4 -config 2B2S -sched wash
+//	colab-sim -bench ferret -threads 4 -config 2B2M2S -sched wash
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,21 +22,32 @@ import (
 )
 
 func main() {
-	wl := flag.String("workload", "", "Table 4 composition index (e.g. Sync-2, Rand-7)")
-	bench := flag.String("bench", "", "single benchmark name instead of a composition")
-	threads := flag.Int("threads", 4, "thread count for -bench")
-	cfgName := flag.String("config", "2B2S", "hardware config: 2B2S, 2B4S, 4B2S, 4B4S")
-	sched := flag.String("sched", "colab", "scheduler: linux, wash, colab, gts, colab-noscale, ...")
-	seed := flag.Uint64("seed", 1, "workload generation seed")
-	littleFirst := flag.Bool("little-first", false, "order little cores before big cores")
-	trace := flag.Bool("trace", false, "print the scheduling event trace to stderr")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "colab-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("colab-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "Table 4 composition index (e.g. Sync-2, Rand-7)")
+	bench := fs.String("bench", "", "single benchmark name instead of a composition")
+	threads := fs.Int("threads", 4, "thread count for -bench")
+	cfgName := fs.String("config", "2B2S", "hardware config: "+configNames())
+	sched := fs.String("sched", "colab", "scheduler: linux, wash, colab, gts, eas, colab-noscale, ...")
+	seed := fs.Uint64("seed", 1, "workload generation seed")
+	littleFirst := fs.Bool("little-first", false, "order little cores before big cores")
+	trace := fs.Bool("trace", false, "print the scheduling event trace to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg, ok := cpu.ConfigByName(*cfgName)
 	if !ok {
-		fail("unknown config %q (want 2B2S, 2B4S, 4B2S or 4B4S)", *cfgName)
+		return fmt.Errorf("unknown config %q (want %s)", *cfgName, configNames())
 	}
-	cfg = cpu.NewConfig(cfg.NumBig(), cfg.NumLittle(), !*littleFirst)
+	cfg = cfg.Ordered(!*littleFirst)
 
 	var (
 		w   *task.Workload
@@ -47,36 +59,45 @@ func main() {
 	case *wl != "":
 		comp, ok := workload.CompositionByIndex(*wl)
 		if !ok {
-			fail("unknown workload %q; known: %s", *wl, strings.Join(compositionIndexes(), ", "))
+			return fmt.Errorf("unknown workload %q; known: %s", *wl, strings.Join(compositionIndexes(), ", "))
 		}
 		w, err = comp.Build(*seed)
 	default:
-		fail("one of -workload or -bench is required")
+		return fmt.Errorf("one of -workload or -bench is required")
 	}
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 
 	runner, err := experiment.NewRunner(*seed)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	s, err := runner.NewScheduler(*sched)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	m, err := kernel.NewMachine(cfg, s, w, kernel.Params{})
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	if *trace {
-		m.SetTracer(kernel.WriteTracer(os.Stderr))
+		m.SetTracer(kernel.WriteTracer(stderr))
 	}
 	res, err := m.Run()
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
-	res.WriteSummary(os.Stdout)
+	res.WriteSummary(stdout)
+	return nil
+}
+
+func configNames() string {
+	var out []string
+	for _, c := range cpu.NamedConfigs() {
+		out = append(out, c.Name)
+	}
+	return strings.Join(out, ", ")
 }
 
 func compositionIndexes() []string {
@@ -85,9 +106,4 @@ func compositionIndexes() []string {
 		out = append(out, c.Index)
 	}
 	return out
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "colab-sim: "+format+"\n", args...)
-	os.Exit(1)
 }

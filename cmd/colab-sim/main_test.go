@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorkload(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "Comp-1", "-config", "2B2S", "-sched", "linux"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"workload Comp-1", "scheduler linux", "config 2B2S", "cpu0(big)", "cpu3(little)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTriGearBench(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-bench", "radix", "-threads", "2", "-config", "2B2M2S", "-sched", "colab"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"config 2B2M2S", "cpu2(medium)", "cpu5(little)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(nil, &out, &errb); err == nil {
+		t.Error("want error without -workload/-bench")
+	}
+	if err := run([]string{"-workload", "Sync-2", "-config", "9B9S"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "unknown config") {
+		t.Errorf("want unknown-config error, got %v", err)
+	}
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Error("want flag parse error for -bogus")
+	}
+}

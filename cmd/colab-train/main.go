@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,30 +19,40 @@ import (
 )
 
 func main() {
-	cores := flag.Int("cores", 4, "core count of the symmetric training machines")
-	seed := flag.Uint64("seed", 42, "workload generation seed")
-	k := flag.Int("k", perfmodel.NumSelected, "number of counters to select")
-	verbose := flag.Bool("v", false, "print per-sample predictions")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "colab-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("colab-train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cores := fs.Int("cores", 4, "core count of the symmetric training machines")
+	seed := fs.Uint64("seed", 42, "workload generation seed")
+	k := fs.Int("k", perfmodel.NumSelected, "number of counters to select")
+	verbose := fs.Bool("v", false, "print per-sample predictions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	samples, err := perfmodel.CollectSamples(perfmodel.CollectOptions{Cores: *cores, Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "colab-train:", err)
-		os.Exit(1)
+		return err
 	}
 	model, err := perfmodel.Train(samples, *k)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "colab-train:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Println("== Table 2: selected performance counters and speedup model ==")
-	fmt.Print(model.Describe())
+	fmt.Fprintln(stdout, "== Table 2: selected performance counters and speedup model ==")
+	fmt.Fprint(stdout, model.Describe())
 
 	if *verbose {
 		sort.Slice(samples, func(i, j int) bool { return samples[i].Bench < samples[j].Bench })
-		fmt.Println("\nper-thread training samples (measured vs predicted):")
+		fmt.Fprintln(stdout, "\nper-thread training samples (measured vs predicted):")
 		for _, s := range samples {
-			fmt.Printf("  %-16s measured=%.3f predicted=%.3f\n", s.Bench, s.Speedup, model.Predict(s.Counters))
+			fmt.Fprintf(stdout, "  %-16s measured=%.3f predicted=%.3f\n", s.Bench, s.Speedup, model.Predict(s.Counters))
 		}
 	}
+	return nil
 }

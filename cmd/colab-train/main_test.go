@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTrainsModel(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-cores", "2", "-k", "4"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Table 2", "Linear predictive speedup model", "Fit: R2="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFlagError(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-nope"}, &out, &errb); err == nil {
+		t.Error("want flag parse error for -nope")
+	}
+}

@@ -1,43 +1,71 @@
 // Command colab-workloads prints the workload inventory: Table 3 (benchmark
 // categorisation) and Table 4 (multi-programmed compositions), plus an
-// optional per-benchmark structural dump.
+// optional per-benchmark structural dump with per-tier speedups.
 //
 // Usage:
 //
-//	colab-workloads [-describe bench]
+//	colab-workloads [-describe bench] [-tiers trigear]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"colab/internal/cpu"
 	"colab/internal/experiment"
 	"colab/internal/mathx"
 	"colab/internal/workload"
 )
 
 func main() {
-	describe := flag.String("describe", "", "dump the structure of one benchmark instance")
-	threads := flag.Int("threads", 4, "thread count for -describe")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "colab-workloads: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("colab-workloads", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	describe := fs.String("describe", "", "dump the structure of one benchmark instance")
+	threads := fs.Int("threads", 4, "thread count for -describe")
+	tierSet := fs.String("tiers", "biglittle", "tier palette for -describe speedups: biglittle or trigear")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *describe != "" {
+		var tiers []cpu.Tier
+		switch *tierSet {
+		case "biglittle":
+			tiers = cpu.DefaultTiers()
+		case "trigear":
+			tiers = cpu.TriGearTiers()
+		default:
+			return fmt.Errorf("unknown tier palette %q (want biglittle or trigear)", *tierSet)
+		}
 		b, ok := workload.ByName(*describe)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "colab-workloads: unknown benchmark %q\n", *describe)
-			os.Exit(1)
+			return fmt.Errorf("unknown benchmark %q", *describe)
 		}
 		app := b.Instantiate(0, *threads, mathx.NewRNG(42))
-		fmt.Printf("%s (%s): sync=%s comm/comp=%s threads=%d\n",
+		fmt.Fprintf(stdout, "%s (%s): sync=%s comm/comp=%s threads=%d\n",
 			b.Name, b.Suite, b.SyncRate, b.CommComp, app.NumThreads())
 		for _, t := range app.Threads {
-			fmt.Printf("  %-10s ops=%-5d work=%6.1fms true-speedup=%.2f\n",
-				t.Name, len(t.Program), t.Program.TotalWork()/1e6, t.Profile.TrueSpeedup())
+			var speedups []string
+			for _, tier := range tiers[1:] { // base tier is 1.0 by definition
+				speedups = append(speedups, fmt.Sprintf("%s=%.2f", tier.Name, t.Profile.SpeedupOn(tier)))
+			}
+			fmt.Fprintf(stdout, "  %-10s ops=%-5d work=%6.1fms speedup{%s}\n",
+				t.Name, len(t.Program), t.Program.TotalWork()/1e6, strings.Join(speedups, " "))
 		}
-		return
+		return nil
 	}
-	fmt.Print(experiment.Table3())
-	fmt.Println()
-	fmt.Print(experiment.Table4())
+	fmt.Fprint(stdout, experiment.Table3())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, experiment.Table4())
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(nil, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Table 3", "Table 4", "blackscholes", "Rand-7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDescribeTriGear(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-describe", "ferret", "-threads", "3", "-tiers", "trigear"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"ferret", "medium=", "big="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-describe", "nosuchbench"}, &out, &errb); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+	if err := run([]string{"-describe", "radix", "-tiers", "quadgear"}, &out, &errb); err == nil {
+		t.Error("want error for unknown tier palette")
+	}
+}

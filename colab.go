@@ -4,8 +4,10 @@
 //
 // It bundles everything the paper's system needs, built from scratch:
 //
-//   - a deterministic discrete-event simulator of ARM big.LITTLE-like
-//     asymmetric multicores (the gem5 substitute),
+//   - a deterministic discrete-event simulator of asymmetric multicores
+//     (the gem5 substitute) with an arbitrary number of ordered core tiers
+//     and per-core DVFS — ARM big.LITTLE is the default two-tier shape,
+//     a DynamIQ-style big.MEDIUM.LITTLE machine ships as Config2B2M2S,
 //   - a simulated OS scheduling layer with futex-based synchronisation and
 //     blocking-blame accounting (the Linux kernel substitute),
 //   - five pluggable scheduling policies: Linux CFS, WASH (the prior state
@@ -48,10 +50,19 @@ import (
 
 // Core simulation types re-exported for API users.
 type (
-	// Config is a machine shape: an ordered list of big/little cores.
+	// Config is a machine shape: an ordered list of cores drawn from an
+	// ascending-capacity tier palette (big/little by default).
 	Config = cpu.Config
-	// CoreKind distinguishes big from little cores.
+	// Tier describes one core type: name, relative capacity, clock and
+	// DVFS frequency ladder. Build multi-tier machines with
+	// NewTieredConfig.
+	Tier = cpu.Tier
+	// CoreKind is a per-core tier index (Little and Big name the default
+	// two-tier palette's indices).
 	CoreKind = cpu.Kind
+	// DVFSGovernor is the optional Scheduler extension through which a
+	// policy programs per-core operating points at dispatch time.
+	DVFSGovernor = kernel.DVFSGovernor
 	// Core is one simulated CPU (visible to custom schedulers).
 	Core = kernel.Core
 	// Scheduler is the pluggable policy interface; implement it to drop a
@@ -116,15 +127,28 @@ const (
 	Little = cpu.Little
 )
 
-// The four evaluated machine shapes (§5.1).
+// The four evaluated machine shapes (§5.1) plus the tri-gear extension.
 var (
 	Config2B2S = cpu.Config2B2S
 	Config2B4S = cpu.Config2B4S
 	Config4B2S = cpu.Config4B2S
 	Config4B4S = cpu.Config4B4S
+	// Config2B2M2S is the DynamIQ-style 2 big + 2 medium + 2 little
+	// machine with DVFS ladders on every tier.
+	Config2B2M2S = cpu.Config2B2M2S
 )
 
-// EvaluatedConfigs returns the four platform shapes in paper order.
+// The standard tiers: the paper's fixed-frequency anchors plus the
+// DVFS-laddered variants the tri-gear machine uses.
+var (
+	TierLittle     = cpu.TierLittle
+	TierBig        = cpu.TierBig
+	TierMedium     = cpu.TierMedium
+	TierLittleDVFS = cpu.TierLittleDVFS
+	TierBigDVFS    = cpu.TierBigDVFS
+)
+
+// EvaluatedConfigs returns the four paper platform shapes in paper order.
 func EvaluatedConfigs() []Config { return cpu.EvaluatedConfigs() }
 
 // NewConfig builds an arbitrary nBig+nLittle machine; bigFirst selects core
@@ -132,6 +156,17 @@ func EvaluatedConfigs() []Config { return cpu.EvaluatedConfigs() }
 func NewConfig(nBig, nLittle int, bigFirst bool) Config {
 	return cpu.NewConfig(nBig, nLittle, bigFirst)
 }
+
+// NewTieredConfig builds a machine over an arbitrary tier palette (listed
+// in ascending capacity with per-tier core counts); bigFirst lays tiers out
+// from the fastest cluster down. See cpu.NewTieredConfig for naming rules.
+func NewTieredConfig(tiers []Tier, counts []int, bigFirst bool) Config {
+	return cpu.NewTieredConfig(tiers, counts, bigFirst)
+}
+
+// TriGearTiers returns the three-tier DynamIQ-style palette
+// (little+medium+big, all with DVFS ladders) in ascending capacity order.
+func TriGearTiers() []Tier { return cpu.TriGearTiers() }
 
 // Benchmarks returns the fifteen Table 3 benchmark generators.
 func Benchmarks() []Benchmark { return workload.All() }

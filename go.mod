@@ -1,0 +1,3 @@
+module colab
+
+go 1.22

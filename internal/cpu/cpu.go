@@ -1,38 +1,184 @@
 // Package cpu models the asymmetric multicore hardware the paper simulates
-// with gem5: ARM big.LITTLE-like processors with out-of-order "big" cores
-// (Cortex-A57-like, 2 GHz) and in-order "little" cores (Cortex-A53-like,
-// 1.2 GHz).
+// with gem5: single-ISA processors whose cores belong to an ordered set of
+// *tiers* — core types of increasing microarchitectural capability, each
+// with its own clock and DVFS ladder. The paper's ARM big.LITTLE platform
+// (out-of-order Cortex-A57-like "big" cores at 2 GHz, in-order
+// Cortex-A53-like "little" cores at 1.2 GHz) is the two-tier instance;
+// modern AMPs (ARM DynamIQ tri-gear, Apple P/E designs) add middle tiers,
+// modelled here by interpolating between the in-order and out-of-order
+// anchors.
 //
 // The model is timing-level, not cycle-level. Each thread carries a hidden
 // WorkProfile describing its microarchitectural character (ILP, branchiness,
 // memory intensity, ...). The profile determines (a) the thread's true
-// big-vs-little speedup — how much faster a big core retires its work — and
-// (b) the synthetic hardware performance counters the schedulers observe.
-// Schedulers never see the profile or the true speedup; they must infer it
-// from counters through the trained model, exactly as on real hardware.
+// per-tier speedup — how much faster each tier retires its work relative to
+// the base tier — and (b) the synthetic hardware performance counters the
+// schedulers observe. Schedulers never see the profile or the true speedup;
+// they must infer it from counters through the trained model, exactly as on
+// real hardware.
 package cpu
 
 import "fmt"
 
-// Kind distinguishes the two core types of a single-ISA AMP.
+// Kind is a per-core tier index into a Config's tier set. In the default
+// two-tier palette index 0 is the little tier and index 1 the big tier; the
+// Little/Big constants name exactly those indices.
 type Kind int
 
 const (
-	// Little is an in-order, low-power core (Cortex-A53-like).
+	// Little is the base tier of the default palette: an in-order,
+	// low-power core (Cortex-A53-like).
 	Little Kind = iota
-	// Big is an out-of-order, high-performance core (Cortex-A57-like).
+	// Big is the top tier of the default palette: an out-of-order,
+	// high-performance core (Cortex-A57-like).
 	Big
 )
 
-// String returns "big" or "little".
+// String returns "big" or "little" for the default palette indices and
+// "tierN" otherwise (multi-tier configs name cores through their Tier).
 func (k Kind) String() string {
-	if k == Big {
+	switch k {
+	case Big:
 		return "big"
+	case Little:
+		return "little"
+	default:
+		return fmt.Sprintf("tier%d", int(k))
 	}
-	return "little"
 }
 
-// Spec describes one core type.
+// RefFreqMHz is the base-tier reference clock (Cortex-A53-like, 1.2 GHz).
+// Work units are calibrated against it: one work unit is one nanosecond of
+// execution on an in-order core at this frequency.
+const RefFreqMHz = 1200
+
+// Tier describes one core type of an asymmetric machine.
+//
+// Uarch places the tier's pipeline between the two calibrated anchors:
+// 0 is the in-order base core, 1 the full out-of-order big core, and
+// intermediate values interpolate the microarchitectural benefit (a
+// DynamIQ-style "medium" core sits near 0.5). MinSpeedup/MaxSpeedup bound
+// the tier's work-rate relative to the base tier, mirroring the physical
+// envelope big.LITTLE studies report for the anchor cores.
+//
+// OPPsMHz is the tier's DVFS frequency ladder in ascending order; the last
+// entry must equal FreqMHz (the nominal operating point). A nil or
+// single-entry ladder means the tier runs fixed-frequency, which is how the
+// paper's gem5 configuration behaves. Per-OPP power states are derived in
+// power.go (dynamic power scales with the cube of the frequency ratio).
+type Tier struct {
+	Name   string // tier name: "big", "medium", "little", ...
+	Symbol string // one-letter symbol used in config names: "B", "M", "S"
+	Model  string // core model the tier mimics, e.g. "cortexa57"
+
+	FreqMHz int     // nominal (maximum) clock
+	Uarch   float64 // out-of-order strength in [0, 1]
+	// Capacity is the tier's nominal work-rate relative to the base tier
+	// for a balanced workload; tiers of a config must be listed in
+	// ascending capacity.
+	Capacity float64
+	// MinSpeedup and MaxSpeedup clamp the per-profile speedup vs base.
+	MinSpeedup, MaxSpeedup float64
+	// L1I, L1D and L2 sizes in KiB; informational (they shape the counter
+	// model constants) and reported by tooling.
+	L1IKB, L1DKB, L2KB int
+	// OPPsMHz is the ascending DVFS ladder; nil means fixed at FreqMHz.
+	OPPsMHz []int
+}
+
+// Ladder returns the tier's operating points, substituting the fixed
+// nominal frequency for a nil ladder.
+func (t Tier) Ladder() []int {
+	if len(t.OPPsMHz) == 0 {
+		return []int{t.FreqMHz}
+	}
+	return t.OPPsMHz
+}
+
+// NominalOPP returns the index of the nominal (highest) operating point.
+func (t Tier) NominalOPP() int { return len(t.Ladder()) - 1 }
+
+// Validate reports structural problems with the tier definition.
+func (t Tier) Validate() error {
+	if t.FreqMHz <= 0 {
+		return fmt.Errorf("cpu: tier %q has non-positive frequency %d", t.Name, t.FreqMHz)
+	}
+	if t.Uarch < 0 || t.Uarch > 1 {
+		return fmt.Errorf("cpu: tier %q Uarch %.2f outside [0,1]", t.Name, t.Uarch)
+	}
+	if t.Capacity <= 0 {
+		return fmt.Errorf("cpu: tier %q has non-positive capacity", t.Name)
+	}
+	ladder := t.Ladder()
+	for i, f := range ladder {
+		if f <= 0 {
+			return fmt.Errorf("cpu: tier %q OPP %d has non-positive frequency", t.Name, i)
+		}
+		if i > 0 && f <= ladder[i-1] {
+			return fmt.Errorf("cpu: tier %q ladder not strictly ascending at OPP %d", t.Name, i)
+		}
+	}
+	if ladder[len(ladder)-1] != t.FreqMHz {
+		return fmt.Errorf("cpu: tier %q ladder top %d != nominal %d MHz", t.Name, ladder[len(ladder)-1], t.FreqMHz)
+	}
+	return nil
+}
+
+// The calibrated anchor tiers, mirroring the paper's gem5 configuration
+// (§5.1). Fixed-frequency, as in the paper.
+var (
+	// TierLittle is the in-order base tier (Cortex-A53-like, 1.2 GHz).
+	TierLittle = Tier{
+		Name: "little", Symbol: "S", Model: "cortexa53",
+		FreqMHz: 1200, Uarch: 0, Capacity: 1.0,
+		MinSpeedup: 1.0, MaxSpeedup: 1.0,
+		L1IKB: 32, L1DKB: 32, L2KB: 512,
+	}
+	// TierBig is the out-of-order top tier (Cortex-A57-like, 2 GHz).
+	TierBig = Tier{
+		Name: "big", Symbol: "B", Model: "cortexa57",
+		FreqMHz: 2000, Uarch: 1, Capacity: 2.0,
+		MinSpeedup: 1.05, MaxSpeedup: 2.85,
+		L1IKB: 48, L1DKB: 32, L2KB: 2048,
+	}
+	// TierMedium is a DynamIQ-style middle tier (Cortex-A72-like,
+	// 1.6 GHz, moderately out-of-order) with a three-point DVFS ladder.
+	TierMedium = Tier{
+		Name: "medium", Symbol: "M", Model: "cortexa72",
+		FreqMHz: 1600, Uarch: 0.5, Capacity: 1.5,
+		MinSpeedup: 1.02, MaxSpeedup: 1.95,
+		L1IKB: 48, L1DKB: 32, L2KB: 1024,
+		OPPsMHz: []int{1000, 1300, 1600},
+	}
+	// TierBigDVFS and TierLittleDVFS are the anchor tiers with realistic
+	// frequency ladders enabled, for DVFS experiments. Their nominal
+	// points match TierBig/TierLittle exactly.
+	TierBigDVFS = Tier{
+		Name: "big", Symbol: "B", Model: "cortexa57",
+		FreqMHz: 2000, Uarch: 1, Capacity: 2.0,
+		MinSpeedup: 1.05, MaxSpeedup: 2.85,
+		L1IKB: 48, L1DKB: 32, L2KB: 2048,
+		OPPsMHz: []int{1200, 1600, 2000},
+	}
+	TierLittleDVFS = Tier{
+		Name: "little", Symbol: "S", Model: "cortexa53",
+		FreqMHz: 1200, Uarch: 0, Capacity: 1.0,
+		MinSpeedup: 1.0, MaxSpeedup: 1.0,
+		L1IKB: 32, L1DKB: 32, L2KB: 512,
+		OPPsMHz: []int{600, 900, 1200},
+	}
+)
+
+// DefaultTiers is the paper's two-tier big.LITTLE palette in ascending
+// capacity order. Configs with a nil tier set use it; tier index 0 is
+// Little and tier index 1 is Big, matching the Kind constants.
+func DefaultTiers() []Tier { return []Tier{TierLittle, TierBig} }
+
+// TriGearTiers is the three-tier DynamIQ-style palette in ascending
+// capacity order, with DVFS ladders on every tier.
+func TriGearTiers() []Tier { return []Tier{TierLittleDVFS, TierMedium, TierBigDVFS} }
+
+// Spec describes one core instance (a flattened view of its tier).
 type Spec struct {
 	Kind    Kind
 	Name    string
@@ -51,17 +197,57 @@ var (
 // FreqRatio is the big/little clock ratio (2.0 GHz / 1.2 GHz).
 const FreqRatio = 2000.0 / 1200.0
 
-// Config is a machine configuration: an ordered list of core kinds. Order
-// matters — the paper averages each experiment over two simulations with
-// big-cores-first and little-cores-first orderings, because initial
-// placement follows core order.
+// Config is a machine configuration: an ordered list of core tier indices
+// over a tier set. Order matters — the paper averages each experiment over
+// two simulations with big-cores-first and little-cores-first orderings,
+// because initial placement follows core order.
 type Config struct {
-	Name  string
+	Name string
+	// Kinds holds one tier index per core, in core order.
 	Kinds []Kind
+	// TierSet is the ascending-capacity tier palette Kinds index into.
+	// nil selects DefaultTiers (the paper's big.LITTLE pair).
+	TierSet []Tier
 }
 
-// NewConfig builds a configuration with nBig big cores and nLittle little
-// cores. bigFirst selects the core ordering.
+// Tiers returns the config's tier palette (DefaultTiers when unset).
+func (c Config) Tiers() []Tier {
+	if c.TierSet == nil {
+		return DefaultTiers()
+	}
+	return c.TierSet
+}
+
+// NumTiers returns the size of the tier palette.
+func (c Config) NumTiers() int { return len(c.Tiers()) }
+
+// Tier returns the tier of core index i.
+func (c Config) Tier(i int) Tier { return c.Tiers()[c.Kinds[i]] }
+
+// Validate reports structural problems with the configuration.
+func (c Config) Validate() error {
+	tiers := c.Tiers()
+	if len(tiers) == 0 {
+		return fmt.Errorf("cpu: config %q has no tiers", c.Name)
+	}
+	for i, t := range tiers {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if i > 0 && t.Capacity < tiers[i-1].Capacity {
+			return fmt.Errorf("cpu: config %q tiers not in ascending capacity order at %q", c.Name, t.Name)
+		}
+	}
+	for i, k := range c.Kinds {
+		if int(k) < 0 || int(k) >= len(tiers) {
+			return fmt.Errorf("cpu: config %q core %d has tier index %d outside palette of %d", c.Name, i, k, len(tiers))
+		}
+	}
+	return nil
+}
+
+// NewConfig builds a two-tier configuration with nBig big cores and nLittle
+// little cores. bigFirst selects the core ordering.
 func NewConfig(nBig, nLittle int, bigFirst bool) Config {
 	name := fmt.Sprintf("%dB%dS", nBig, nLittle)
 	kinds := make([]Kind, 0, nBig+nLittle)
@@ -84,67 +270,136 @@ func NewConfig(nBig, nLittle int, bigFirst bool) Config {
 	return Config{Name: name, Kinds: kinds}
 }
 
+// NewTieredConfig builds a machine over an arbitrary ascending-capacity
+// tier palette. counts[i] is the number of cores of tiers[i]. bigFirst lays
+// the tier blocks out in descending capacity order (the default evaluated
+// ordering); the little-first variant reverses the blocks and gets a "-lf"
+// name suffix. The name concatenates per-tier counts and symbols from the
+// top tier down, e.g. "2B2M2S".
+func NewTieredConfig(tiers []Tier, counts []int, bigFirst bool) Config {
+	if len(tiers) != len(counts) {
+		panic(fmt.Sprintf("cpu: NewTieredConfig got %d tiers but %d counts", len(tiers), len(counts)))
+	}
+	name := ""
+	for i := len(tiers) - 1; i >= 0; i-- {
+		sym := tiers[i].Symbol
+		if sym == "" {
+			sym = "?"
+		}
+		name += fmt.Sprintf("%d%s", counts[i], sym)
+	}
+	var kinds []Kind
+	appendTier := func(i int) {
+		for n := 0; n < counts[i]; n++ {
+			kinds = append(kinds, Kind(i))
+		}
+	}
+	if bigFirst {
+		for i := len(tiers) - 1; i >= 0; i-- {
+			appendTier(i)
+		}
+	} else {
+		for i := 0; i < len(tiers); i++ {
+			appendTier(i)
+		}
+		name += "-lf"
+	}
+	return Config{Name: name, Kinds: kinds, TierSet: tiers}
+}
+
+// Ordered returns the config with its cores regrouped by tier: descending
+// capacity when bigFirst (the evaluated default), ascending otherwise (the
+// "-lf" variant the paper averages against). Per-tier counts are preserved.
+func (c Config) Ordered(bigFirst bool) Config {
+	counts := make([]int, c.NumTiers())
+	for _, k := range c.Kinds {
+		counts[k]++
+	}
+	kinds := make([]Kind, 0, len(c.Kinds))
+	if bigFirst {
+		for i := len(counts) - 1; i >= 0; i-- {
+			for n := 0; n < counts[i]; n++ {
+				kinds = append(kinds, Kind(i))
+			}
+		}
+	} else {
+		for i := 0; i < len(counts); i++ {
+			for n := 0; n < counts[i]; n++ {
+				kinds = append(kinds, Kind(i))
+			}
+		}
+	}
+	name := c.Name
+	for len(name) > 3 && name[len(name)-3:] == "-lf" {
+		name = name[:len(name)-3]
+	}
+	if !bigFirst {
+		name += "-lf"
+	}
+	return Config{Name: name, Kinds: kinds, TierSet: c.TierSet}
+}
+
 // NumCores returns the total core count.
 func (c Config) NumCores() int { return len(c.Kinds) }
 
-// NumBig returns the number of big cores.
-func (c Config) NumBig() int {
+// NumInTier returns the number of cores with the given tier index.
+func (c Config) NumInTier(tier int) int {
 	n := 0
 	for _, k := range c.Kinds {
-		if k == Big {
+		if int(k) == tier {
 			n++
 		}
 	}
 	return n
 }
 
-// NumLittle returns the number of little cores.
-func (c Config) NumLittle() int { return c.NumCores() - c.NumBig() }
+// NumBig returns the number of cores in the top (highest-capacity) tier.
+func (c Config) NumBig() int { return c.NumInTier(c.NumTiers() - 1) }
 
-// BigIndices returns the core indices that are big cores, in order.
-func (c Config) BigIndices() []int {
+// NumLittle returns the number of cores in the base tier.
+func (c Config) NumLittle() int { return c.NumInTier(0) }
+
+// TierIndices returns the core indices belonging to the given tier, in
+// core order.
+func (c Config) TierIndices(tier int) []int {
 	var out []int
 	for i, k := range c.Kinds {
-		if k == Big {
+		if int(k) == tier {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// LittleIndices returns the core indices that are little cores, in order.
-func (c Config) LittleIndices() []int {
-	var out []int
-	for i, k := range c.Kinds {
-		if k == Little {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+// BigIndices returns the core indices of the top tier, in order.
+func (c Config) BigIndices() []int { return c.TierIndices(c.NumTiers() - 1) }
 
-// Spec returns the core spec for core index i.
+// LittleIndices returns the core indices of the base tier, in order.
+func (c Config) LittleIndices() []int { return c.TierIndices(0) }
+
+// Spec returns the flattened core spec for core index i.
 func (c Config) Spec(i int) Spec {
-	if c.Kinds[i] == Big {
-		return BigSpec
-	}
-	return LittleSpec
+	t := c.Tier(i)
+	return Spec{Kind: c.Kinds[i], Name: t.Model, FreqMHz: t.FreqMHz,
+		L1IKB: t.L1IKB, L1DKB: t.L1DKB, L2KB: t.L2KB}
 }
 
 // AllBig returns the metric-baseline variant of c: the same number of cores,
-// all big. H_ANTT / H_STP / H_NTT normalise against runtimes measured alone
-// on a big-only system (§5.1 "Metrics").
+// all in the top tier. H_ANTT / H_STP / H_NTT normalise against runtimes
+// measured alone on a big-only system (§5.1 "Metrics").
 func (c Config) AllBig() Config {
+	top := Kind(c.NumTiers() - 1)
 	kinds := make([]Kind, len(c.Kinds))
 	for i := range kinds {
-		kinds[i] = Big
+		kinds[i] = top
 	}
-	return Config{Name: c.Name + "-allbig", Kinds: kinds}
+	return Config{Name: c.Name + "-allbig", Kinds: kinds, TierSet: c.TierSet}
 }
 
-// NewSymmetric builds an n-core machine of a single core kind — the
-// symmetric big-only / little-only configurations the speedup model is
-// trained on (§4.1) and the all-big metric baseline runs on.
+// NewSymmetric builds an n-core machine of a single core kind from the
+// default palette — the symmetric big-only / little-only configurations the
+// speedup model is trained on (§4.1) and the all-big metric baseline runs
+// on.
 func NewSymmetric(kind Kind, n int) Config {
 	kinds := make([]Kind, n)
 	for i := range kinds {
@@ -161,15 +416,24 @@ var (
 	Config4B4S = NewConfig(4, 4, true)
 )
 
-// EvaluatedConfigs lists the four platform shapes in paper order.
+// Config2B2M2S is the tri-gear extension shape: 2 big + 2 medium + 2 little
+// cores with DVFS ladders on every tier (ARM DynamIQ-style).
+var Config2B2M2S = NewTieredConfig(TriGearTiers(), []int{2, 2, 2}, true)
+
+// EvaluatedConfigs lists the four paper platform shapes in paper order.
 func EvaluatedConfigs() []Config {
 	return []Config{Config2B2S, Config2B4S, Config4B2S, Config4B4S}
 }
 
-// ConfigByName returns the evaluated config with the given name (for CLI
-// tools), or false.
+// NamedConfigs lists every named platform shape the tools accept: the four
+// paper shapes plus the tri-gear extension.
+func NamedConfigs() []Config {
+	return append(EvaluatedConfigs(), Config2B2M2S)
+}
+
+// ConfigByName returns the named config (for CLI tools), or false.
 func ConfigByName(name string) (Config, bool) {
-	for _, c := range EvaluatedConfigs() {
+	for _, c := range NamedConfigs() {
 		if c.Name == name {
 			return c, true
 		}

@@ -37,32 +37,85 @@ func (p WorkProfile) Clamp() WorkProfile {
 	return p
 }
 
-// TrueSpeedup is the factor by which a big core retires this work faster
-// than a little core. It composes the 1.67x clock ratio with a
-// microarchitectural factor: out-of-order execution pays off for high-ILP,
-// branchy, cache-friendly code and is wasted on memory-bound code.
-// The result lands in roughly [1.1, 2.8], matching the spread big.LITTLE
-// studies report.
-func (p WorkProfile) TrueSpeedup() float64 {
-	p = p.Clamp()
+// uarchFactor is the profile's out-of-order benefit: how much faster a full
+// OoO pipeline (at equal clock) retires this work than the in-order base.
+// OoO execution pays off for high-ILP, branchy, cache-friendly code and is
+// wasted on memory-bound code.
+func (p WorkProfile) uarchFactor() float64 {
 	uarch := 1.0 +
 		0.55*p.ILP + // OoO window exploits independent instructions
 		0.20*(p.BranchRate/0.3) - // better predictor + speculation depth
 		0.45*p.MemIntensity - // memory wall: frequency does not help
 		0.10*p.CodeFootprint // the bigger L1I helps, but front-end stalls cap gains
-	uarch = mathx.Clamp(uarch, 0.70, 1.70)
-	return mathx.Clamp(FreqRatio*uarch, 1.05, 2.85)
+	return mathx.Clamp(uarch, 0.70, 1.70)
 }
 
-// ExecRate returns the work units retired per nanosecond on a core of the
-// given kind. Work is calibrated so a little core retires exactly 1 unit/ns;
-// a big core retires TrueSpeedup units/ns. Segment durations in the workload
-// DSL are therefore expressed directly as "nanoseconds on a little core".
+// SpeedupOn is the factor by which a core of tier t retires this work
+// faster than a base-tier core at nominal frequency. It composes the tier's
+// clock ratio over the 1.2 GHz reference with the tier-weighted
+// microarchitectural factor: tiers between the in-order base (Uarch 0) and
+// the full out-of-order big core (Uarch 1) receive a proportional share of
+// the OoO benefit. The result is clamped to the tier's physical envelope;
+// for the big anchor that lands in roughly [1.1, 2.8], matching the spread
+// big.LITTLE studies report.
+func (p WorkProfile) SpeedupOn(t Tier) float64 {
+	if t.Uarch <= 0 && t.FreqMHz == RefFreqMHz {
+		return 1.0 // the base tier defines the work unit
+	}
+	p = p.Clamp()
+	uarch := p.uarchFactor()
+	if t.Uarch < 1 {
+		uarch = 1 + t.Uarch*(uarch-1)
+	}
+	fr := float64(t.FreqMHz) / float64(RefFreqMHz)
+	return mathx.Clamp(fr*uarch, t.MinSpeedup, t.MaxSpeedup)
+}
+
+// TrueSpeedup is the factor by which a big (top-anchor) core retires this
+// work faster than a little core — the ground truth the paper's speedup
+// model is trained to predict.
+func (p WorkProfile) TrueSpeedup() float64 {
+	return p.SpeedupOn(TierBig)
+}
+
+// ExecRate returns the work units retired per nanosecond on a default-
+// palette core of the given kind. Work is calibrated so a little core
+// retires exactly 1 unit/ns; a big core retires TrueSpeedup units/ns.
+// Segment durations in the workload DSL are therefore expressed directly as
+// "nanoseconds on a little core".
 func (p WorkProfile) ExecRate(k Kind) float64 {
 	if k == Big {
 		return p.TrueSpeedup()
 	}
 	return 1.0
+}
+
+// RelSpeedup converts a predicted big-vs-little speedup into the expected
+// speedup on tier t: 1.0 on the base tier, the prediction itself on the big
+// anchor, and the tier-weighted interpolation in between. Policies use it
+// to turn the trained model's two-anchor prediction into per-tier
+// scheduling decisions without retraining.
+func (t Tier) RelSpeedup(pred float64) float64 {
+	if t.Uarch <= 0 && t.FreqMHz == RefFreqMHz {
+		return 1.0
+	}
+	if t.Uarch >= 1 && t.FreqMHz == BigSpec.FreqMHz {
+		return pred
+	}
+	uarch := pred / FreqRatio // recover the microarchitectural factor
+	if t.Uarch < 1 {
+		uarch = 1 + t.Uarch*(uarch-1)
+	}
+	s := float64(t.FreqMHz) / float64(RefFreqMHz) * uarch
+	s = mathx.Clamp(s, t.MinSpeedup, t.MaxSpeedup)
+	// A lower tier never outruns the big anchor the prediction is for:
+	// keep the tier order monotone even for degenerate predictions.
+	if pred > 1 && s > pred {
+		s = pred
+	} else if pred <= 1 {
+		s = 1
+	}
+	return s
 }
 
 // InstPerWorkUnit converts work units to retired instructions for counter

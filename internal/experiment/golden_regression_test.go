@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestPaperConfigsUnchanged is the tier-refactor regression oracle: the
+// golden corpus in testdata was produced by the pre-refactor two-kind
+// big/little implementation, and the two-tier palette is the degenerate
+// case of the tiered machine model, so every number must match to the last
+// bit. Regenerate with GOLDEN_WRITE=1 only when an intentional behaviour
+// change is documented in DESIGN.md.
+func TestPaperConfigsUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper-config regression corpus is not -short")
+	}
+	raw, err := os.ReadFile("testdata/golden_paper_configs.txt")
+	if err != nil {
+		t.Fatalf("golden corpus missing: %v", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	got := goldenPaperLines(t)
+	if len(got) != len(want) {
+		t.Fatalf("golden corpus has %d lines, regenerated %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d drifted:\n  golden: %s\n  got:    %s", i, want[i], got[i])
+		}
+	}
+}

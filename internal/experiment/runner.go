@@ -197,7 +197,7 @@ func (r *Runner) MixScore(comp workload.Composition, cfg cpu.Config, kind string
 	var total metrics.MixScore
 	orders := []bool{true, false} // big-first, little-first (§5.1)
 	for _, bigFirst := range orders {
-		variant := cpu.NewConfig(cfg.NumBig(), cfg.NumLittle(), bigFirst)
+		variant := cfg.Ordered(bigFirst)
 		w, err := comp.Build(r.Seed)
 		if err != nil {
 			return metrics.MixScore{}, err
@@ -341,7 +341,7 @@ func (r *Runner) SingleProgram(bench string, threads int, cfg cpu.Config, kind s
 	var hntt float64
 	orders := []bool{true, false}
 	for _, bigFirst := range orders {
-		variant := cpu.NewConfig(cfg.NumBig(), cfg.NumLittle(), bigFirst)
+		variant := cfg.Ordered(bigFirst)
 		w, err := workload.SingleProgram(bench, threads, r.Seed)
 		if err != nil {
 			return SingleScore{}, err

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/mathx"
+	"colab/internal/metrics"
+	"colab/internal/sim"
+	"colab/internal/workload"
+)
+
+// TriGearWorkloads are the representative per-class compositions the
+// tri-gear extension table evaluates (one per Table 4 class).
+func TriGearWorkloads() []string {
+	return []string{"Sync-2", "NSync-2", "Comm-2", "Comp-2", "Rand-7"}
+}
+
+// TriGearSchedulers are the five policies the tri-gear table compares.
+func TriGearSchedulers() []string {
+	return []string{SchedLinux, SchedWASH, SchedCOLAB, SchedGTS, SchedEAS}
+}
+
+// TriGearTable is the multi-tier extension study: all five policies on the
+// 2B2M2S DynamIQ-style machine (two big, two medium, two little cores,
+// every tier with a DVFS ladder). H_ANTT / H_STP are averaged over the two
+// core orders and normalised to Linux, like the paper tables; the energy
+// and EDP columns come from the big-first run and exercise the per-OPP
+// power model (EAS doubles as a schedutil-like governor here).
+func (r *Runner) TriGearTable() (*Table, error) {
+	cfg := cpu.Config2B2M2S
+	kinds := TriGearSchedulers()
+	t := &Table{
+		Title:  fmt.Sprintf("Tri-gear extension: five policies on %s (normalised to Linux)", cfg.Name),
+		Header: []string{"sched", "H_ANTT", "H_STP", "energy", "EDP"},
+	}
+	type cell struct {
+		score metrics.MixScore
+		e     float64
+		edp   float64
+	}
+	perSched := map[string]struct {
+		antt, stp, e, edp []float64
+	}{}
+	for _, idx := range TriGearWorkloads() {
+		comp, ok := workload.CompositionByIndex(idx)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown workload %s", idx)
+		}
+		bases := make([]sim.Time, len(comp.Parts))
+		for i := range comp.Parts {
+			b, err := r.baselineBig(comp, i, cfg)
+			if err != nil {
+				return nil, err
+			}
+			bases[i] = b
+		}
+		// One simulation per core order per scheduler: the scores average
+		// both orders (as the paper does) and the energy columns read the
+		// big-first Result directly.
+		eval := func(kind string) (cell, error) {
+			var c cell
+			orders := []bool{true, false}
+			for _, bigFirst := range orders {
+				w, err := comp.Build(r.Seed)
+				if err != nil {
+					return cell{}, err
+				}
+				res, err := r.run(cfg.Ordered(bigFirst), kind, w)
+				if err != nil {
+					return cell{}, fmt.Errorf("experiment: %s on %s under %s: %w", idx, cfg.Name, kind, err)
+				}
+				score, err := metrics.Score(res, func(i int, _ kernel.AppResult) sim.Time { return bases[i] })
+				if err != nil {
+					return cell{}, err
+				}
+				c.score.HANTT += score.HANTT / float64(len(orders))
+				c.score.HSTP += score.HSTP / float64(len(orders))
+				if bigFirst {
+					c.e, c.edp = res.TotalEnergyJ(), res.EnergyDelayProduct()
+				}
+			}
+			return c, nil
+		}
+		ref, err := eval(SchedLinux)
+		if err != nil {
+			return nil, err
+		}
+		if ref.e <= 0 || ref.edp <= 0 {
+			return nil, fmt.Errorf("experiment: missing linux energy reference for %s", idx)
+		}
+		for _, kind := range kinds {
+			c := ref
+			if kind != SchedLinux {
+				if c, err = eval(kind); err != nil {
+					return nil, err
+				}
+			}
+			agg := perSched[kind]
+			norm := metrics.Normalized(c.score, ref.score)
+			agg.antt = append(agg.antt, norm.HANTT)
+			agg.stp = append(agg.stp, norm.HSTP)
+			agg.e = append(agg.e, c.e/ref.e)
+			agg.edp = append(agg.edp, c.edp/ref.edp)
+			perSched[kind] = agg
+		}
+	}
+	for _, kind := range kinds {
+		agg := perSched[kind]
+		t.AddRow(kind,
+			f3(mathx.GeoMean(agg.antt)), f3(mathx.GeoMean(agg.stp)),
+			f3(mathx.GeoMean(agg.e)), f3(mathx.GeoMean(agg.edp)))
+	}
+	t.Notes = append(t.Notes,
+		"machine: 2 big (A57-like, OPPs 1.2/1.6/2.0 GHz) + 2 medium (A72-like, 1.0/1.3/1.6 GHz) + 2 little (A53-like, 0.6/0.9/1.2 GHz)",
+		"geomean over one representative workload per class; H_ANTT/energy/EDP lower is better, H_STP higher is better",
+		"the paper evaluates two-tier machines only; this table is the multi-tier extension")
+	return t, nil
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"colab/internal/cpu"
+	"colab/internal/workload"
+)
+
+// TestTriGearAllPolicies drives the 2B2M2S tri-gear machine through the
+// experiment harness end-to-end under all five policies (the acceptance
+// bar for the multi-tier machine model).
+func TestTriGearAllPolicies(t *testing.T) {
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := workload.CompositionByIndex("Rand-7")
+	if !ok {
+		t.Fatal("Rand-7 missing")
+	}
+	for _, kind := range TriGearSchedulers() {
+		s, err := r.MixScore(comp, cpu.Config2B2M2S, kind)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", kind, cpu.Config2B2M2S.Name, err)
+		}
+		if s.HANTT <= 0 || s.HSTP <= 0 {
+			t.Errorf("%s: degenerate scores %+v", kind, s)
+		}
+		t.Logf("%s: HANTT=%.3f HSTP=%.3f", kind, s.HANTT, s.HSTP)
+	}
+}
+
+// TestTriGearTable renders the full five-policy comparison table.
+func TestTriGearTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tri-gear table is not -short")
+	}
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := r.TriGearTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if len(tbl.Rows) != len(TriGearSchedulers()) {
+		t.Fatalf("want %d rows, got %d:\n%s", len(TriGearSchedulers()), len(tbl.Rows), out)
+	}
+	for _, kind := range TriGearSchedulers() {
+		if !strings.Contains(out, kind) {
+			t.Errorf("table misses %s:\n%s", kind, out)
+		}
+	}
+	t.Log("\n" + out)
+}

@@ -30,8 +30,9 @@ type Machine struct {
 	done   bool
 	tracer func(TraceEvent)
 
-	bigIDs    []int
-	littleIDs []int
+	tierIDs  [][]int // per tier index, core IDs in core order
+	topTier  int     // index of the highest-capacity tier in the palette
+	governor DVFSGovernor
 }
 
 // NewMachine builds a machine. The workload's threads must be freshly
@@ -46,20 +47,35 @@ func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params
 	if len(w.Apps) == 0 {
 		return nil, fmt.Errorf("kernel: workload %q has no apps", w.Name)
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	params = params.withDefaults()
 	m := &Machine{
-		eng:       sim.NewEngine(),
-		config:    cfg,
-		sched:     sched,
-		workload:  w,
-		futexes:   newFutexTable(),
-		ctrRNG:    mathx.NewRNG(params.CounterNoiseSeed),
-		params:    params,
-		bigIDs:    cfg.BigIndices(),
-		littleIDs: cfg.LittleIndices(),
+		eng:      sim.NewEngine(),
+		config:   cfg,
+		sched:    sched,
+		workload: w,
+		futexes:  newFutexTable(),
+		ctrRNG:   mathx.NewRNG(params.CounterNoiseSeed),
+		params:   params,
+		topTier:  cfg.NumTiers() - 1,
+	}
+	m.governor, _ = sched.(DVFSGovernor)
+	m.tierIDs = make([][]int, cfg.NumTiers())
+	for tier := range m.tierIDs {
+		m.tierIDs[tier] = cfg.TierIndices(tier)
 	}
 	for i, kind := range cfg.Kinds {
-		m.cores = append(m.cores, &Core{ID: i, Kind: kind, Spec: cfg.Spec(i), wasIdle: true})
+		tier := cfg.Tier(i)
+		ladder := tier.Ladder()
+		m.cores = append(m.cores, &Core{
+			ID: i, Kind: kind, Tier: tier, Spec: cfg.Spec(i),
+			ladder:    ladder,
+			opp:       len(ladder) - 1, // boot at nominal
+			busyByOPP: make([]sim.Time, len(ladder)),
+			wasIdle:   true,
+		})
 	}
 	id := 0
 	for _, a := range w.Apps {
@@ -94,11 +110,24 @@ func (m *Machine) Config() cpu.Config { return m.config }
 // Cores returns the simulated cores (do not mutate).
 func (m *Machine) Cores() []*Core { return m.cores }
 
-// BigCoreIDs returns indices of big cores in core order.
-func (m *Machine) BigCoreIDs() []int { return m.bigIDs }
+// NumTiers returns the size of the machine's tier palette.
+func (m *Machine) NumTiers() int { return len(m.tierIDs) }
 
-// LittleCoreIDs returns indices of little cores in core order.
-func (m *Machine) LittleCoreIDs() []int { return m.littleIDs }
+// Tiers returns the machine's tier palette in ascending capacity order.
+func (m *Machine) Tiers() []cpu.Tier { return m.config.Tiers() }
+
+// TierCoreIDs returns the core indices of the given tier, in core order
+// (possibly empty: symmetric machines populate a single tier).
+func (m *Machine) TierCoreIDs(tier int) []int { return m.tierIDs[tier] }
+
+// TopTier returns the index of the highest-capacity tier in the palette.
+func (m *Machine) TopTier() int { return m.topTier }
+
+// BigCoreIDs returns indices of top-tier cores in core order.
+func (m *Machine) BigCoreIDs() []int { return m.tierIDs[m.topTier] }
+
+// LittleCoreIDs returns indices of base-tier cores in core order.
+func (m *Machine) LittleCoreIDs() []int { return m.tierIDs[0] }
 
 // Workload returns the workload under simulation.
 func (m *Machine) Workload() *task.Workload { return m.workload }
@@ -393,13 +422,25 @@ func (m *Machine) schedule(c *Core) {
 	t.State = task.Running
 	t.CoreID = c.ID
 	c.Dispatches++
+	// DVFS: let a governor policy reprogram the core's operating point for
+	// this occupancy. Fixed-frequency tiers (the paper's setup) skip the
+	// hook entirely.
+	if m.governor != nil && len(c.ladder) > 1 {
+		c.setOPP(m.governor.SelectOPP(c, t))
+	}
 	slice := m.sched.TimeSlice(c, t)
 	if slice <= 0 {
 		slice = sim.Millisecond
 	}
 	c.sliceEnd = now + cost + slice
-	c.BusyTime += cost // switch overhead occupies the core
+	c.accrueBusy(cost) // switch overhead occupies the core
 	m.startBurst(c, cost)
+}
+
+// execRate returns the work units per nanosecond thread t retires on core
+// c: the tier-relative speedup scaled by the active DVFS point.
+func (m *Machine) execRate(c *Core, t *task.Thread) float64 {
+	return t.Profile.SpeedupOn(c.Tier) * c.dvfsScale()
 }
 
 // startBurst schedules the end of the next execution segment: the earlier
@@ -407,7 +448,7 @@ func (m *Machine) schedule(c *Core) {
 func (m *Machine) startBurst(c *Core, delay sim.Time) {
 	t := c.Current
 	now := m.eng.Now()
-	rate := t.Profile.ExecRate(c.Kind)
+	rate := m.execRate(c, t)
 	need := sim.Time(t.Remaining/rate) + 1 // ceil to whole ns
 	begin := now + delay
 	run := need
@@ -489,7 +530,7 @@ func (m *Machine) accrueExec(c *Core, t *task.Thread, d sim.Time) {
 	if d <= 0 {
 		return
 	}
-	rate := t.Profile.ExecRate(c.Kind)
+	rate := m.execRate(c, t)
 	work := float64(d) * rate
 	if work > t.Remaining {
 		work = t.Remaining
@@ -500,7 +541,7 @@ func (m *Machine) accrueExec(c *Core, t *task.Thread, d sim.Time) {
 	}
 	t.WorkDone += work
 	t.SumExec += d
-	if c.Kind == cpu.Big {
+	if int(c.Kind) == m.topTier {
 		t.SumExecBig += d
 	}
 	scale := m.sched.VRuntimeScale(c, t)
@@ -508,7 +549,7 @@ func (m *Machine) accrueExec(c *Core, t *task.Thread, d sim.Time) {
 		scale = 1
 	}
 	t.VRuntime += sim.Time(float64(d) * scale)
-	c.BusyTime += d
+	c.accrueBusy(d)
 	cycles := float64(d) * c.FreqGHz()
 	vec := cpu.SampleCounters(m.ctrRNG, t.Profile, c.Kind, work, cycles, 0)
 	t.TotalCounters.Add(vec)

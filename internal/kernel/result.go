@@ -38,11 +38,17 @@ type ThreadResult struct {
 // CoreResult records one core's utilisation.
 type CoreResult struct {
 	ID         int
-	Kind       cpu.Kind
+	Kind       cpu.Kind // tier index
+	TierName   string
 	BusyTime   sim.Time
 	IdleTime   sim.Time
 	Dispatches int
 	EnergyJ    float64 // per the machine's power model
+	// BusyByOPP is the core's busy-time residency per DVFS operating
+	// point (ladder order, ascending frequency; length 1 on
+	// fixed-frequency tiers).
+	BusyByOPP []sim.Time
+	OPPsMHz   []int
 }
 
 // Result is the outcome of one simulation.
@@ -101,10 +107,13 @@ func (m *Machine) buildResult() *Result {
 		r.Cores = append(r.Cores, CoreResult{
 			ID:         c.ID,
 			Kind:       c.Kind,
+			TierName:   c.Tier.Name,
 			BusyTime:   c.BusyTime,
 			IdleTime:   c.IdleTime,
 			Dispatches: c.Dispatches,
-			EnergyJ:    m.params.Power.CoreEnergyJ(c.Kind, c.BusyTime, c.IdleTime),
+			EnergyJ:    m.params.Power.TierEnergyJ(c.Tier, c.busyByOPP, c.IdleTime),
+			BusyByOPP:  append([]sim.Time(nil), c.busyByOPP...),
+			OPPsMHz:    append([]int(nil), c.ladder...),
 		})
 	}
 	return r
@@ -167,7 +176,7 @@ func (r *Result) WriteSummary(w io.Writer) {
 		if total > 0 {
 			util = float64(c.BusyTime) / float64(total) * 100
 		}
-		fmt.Fprintf(w, "cpu%d(%s): busy %v (%.1f%%), %.3f J\n", c.ID, c.Kind, c.BusyTime, util, c.EnergyJ)
+		fmt.Fprintf(w, "cpu%d(%s): busy %v (%.1f%%), %.3f J\n", c.ID, c.TierName, c.BusyTime, util, c.EnergyJ)
 	}
 	fmt.Fprintf(w, "energy %.3f J, energy-delay product %.4f Js\n", r.TotalEnergyJ(), r.EnergyDelayProduct())
 }

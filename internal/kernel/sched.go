@@ -55,6 +55,17 @@ type Scheduler interface {
 	ThreadDone(t *task.Thread)
 }
 
+// DVFSGovernor is an optional Scheduler extension. A policy that implements
+// it selects the operating point (an index into the core's tier ladder,
+// ascending frequency) the kernel programs before each dispatch; the
+// returned index is clamped to the ladder. Cores of fixed-frequency tiers
+// (single-entry ladders, as in the paper's gem5 setup) never invoke the
+// hook. Policies without the hook run every core at its nominal point.
+type DVFSGovernor interface {
+	// SelectOPP picks the operating point for thread t about to run on c.
+	SelectOPP(c *Core, t *task.Thread) int
+}
+
 // Params are machine-level costs and limits. Zero values select defaults.
 type Params struct {
 	// ContextSwitchCost is charged when a core switches between two

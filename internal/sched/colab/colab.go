@@ -1,30 +1,37 @@
 // Package colab implements the paper's contribution: a collaborative
-// multi-factor scheduler for asymmetric multicore processors (§3–4).
+// multi-factor scheduler for asymmetric multicore processors (§3–4),
+// generalised from the paper's two-kind big/little machines to arbitrary
+// ordered core tiers.
 //
 // Three collaborating heuristics, each primarily owning one factor:
 //
 //   - A multi-factor labeler runs every 10 ms and tags ready threads from
-//     the runtime models (predicted big/little speedup, futex blocking
-//     blame): high-speedup threads get big-core priority, low-speedup &
-//     low-blocking threads get little-core priority, the rest stay free.
+//     the runtime models (predicted speedup, futex blocking blame):
+//     high-speedup threads get top-tier priority, low-speedup &
+//     low-blocking threads get base-tier priority. On machines with middle
+//     tiers, non-critical middle-band threads are spread over the middle
+//     tiers by predicted speedup; the rest stay free.
 //   - The hierarchical round-robin core allocator (Alg. 1,
 //     _core_alloctor_) places waking threads by label: round-robin within
-//     the big cluster, within the little cluster, or across all cores —
-//     keeping both clusters loaded without migration churn.
-//   - The biased-global thread selector (Alg. 1, _thread_selector_) always
-//     runs the most blocking (most critical) thread: local queue first,
-//     then the same-type cluster, then the other cluster; an empty big core
-//     may even pull a thread running on a little core. Little cores never
-//     preempt big ones.
+//     the labelled tier's cluster, or across all cores for free threads —
+//     keeping every cluster loaded without migration churn.
+//   - The tier-ranked global thread selector (Alg. 1, _thread_selector_)
+//     always runs the most blocking (most critical) thread: local queue
+//     first, then the same-tier cluster, then the remaining tiers from the
+//     top of the machine down; an empty core may even pull a thread
+//     running on any lower-tier core. Lower tiers never preempt higher
+//     ones.
 //
-// Fairness comes from speedup-scaled slices: on big cores vruntime advances
-// multiplied by the predicted speedup, so threads are charged for work
-// received rather than wall time and selection triggers proportionally more
-// often on big cores (the paper's scale-slice equal-progress mechanism).
+// Fairness comes from speedup-scaled slices: on upper-tier cores vruntime
+// advances multiplied by the tier-relative predicted speedup, so threads
+// are charged for work received rather than wall time and selection
+// triggers proportionally more often on fast cores (the paper's
+// scale-slice equal-progress mechanism).
 package colab
 
 import (
 	"fmt"
+	"sort"
 
 	"colab/internal/cpu"
 	"colab/internal/kernel"
@@ -37,13 +44,16 @@ import (
 type Label int
 
 const (
-	// LabelFree threads balance load across both clusters.
+	// LabelFree threads balance load across all clusters.
 	LabelFree Label = iota
-	// LabelBig marks high-predicted-speedup threads: big-cluster priority.
+	// LabelBig marks high-predicted-speedup threads: top-tier priority.
 	LabelBig
 	// LabelLittle marks low-speedup, low-blocking (non-critical) threads:
-	// little-cluster priority.
+	// base-tier priority.
 	LabelLittle
+	// LabelMid marks middle-band threads steered to a middle tier
+	// (machines with three or more tiers only).
+	LabelMid
 )
 
 // String names the label.
@@ -53,13 +63,15 @@ func (l Label) String() string {
 		return "big"
 	case LabelLittle:
 		return "little"
+	case LabelMid:
+		return "mid"
 	default:
 		return "free"
 	}
 }
 
 // Options configure COLAB. The ablation switches disable individual design
-// choices for the ablation benches DESIGN.md calls out.
+// choices for the ablation benches DESIGN.md §4 calls out.
 type Options struct {
 	// TargetLatency / MinGranularity / WakeupGranularity mirror the CFS
 	// latency parameters the slice computation is built on.
@@ -84,7 +96,7 @@ type Options struct {
 	DisableScaleSlice bool // drop the equal-progress vruntime scaling
 	LocalOnlySelector bool // selector never steals from other queues
 	FlatAllocator     bool // ignore labels: plain round-robin over all cores
-	DisablePull       bool // big cores never preempt running little threads
+	DisablePull       bool // upper tiers never preempt running lower-tier threads
 }
 
 func (o Options) withDefaults() Options {
@@ -117,10 +129,11 @@ func (o Options) withDefaults() Options {
 
 // tinfo is the per-thread runtime model state.
 type tinfo struct {
-	label     Label
-	pred      float64
-	blameEWMA float64
-	lastBlame sim.Time
+	label      Label
+	targetTier int // tier the allocator steers to; -1 = free
+	pred       float64
+	blameEWMA  float64
+	lastBlame  sim.Time
 }
 
 // Policy is the COLAB scheduler.
@@ -131,8 +144,16 @@ type Policy struct {
 	info map[*task.Thread]*tinfo
 	rqs  [][]*task.Thread // per-core ready queues (selection scans by blame)
 
-	bigIDs, littleIDs, allIDs []int
-	rrBig, rrLittle, rrAll    int
+	// tierIDs[k] holds the allocation targets for tier k: the tier's own
+	// cores when the cluster is populated, all cores otherwise.
+	tierIDs [][]int
+	allIDs  []int
+	rrTier  []int
+	rrAll   int
+	// stealOrder[k] lists, for a core of tier k, the other tiers to scan
+	// in selection order: the core's own tier first, then the remaining
+	// tiers from the top of the machine down.
+	stealOrder [][]int
 }
 
 // New returns a COLAB policy.
@@ -153,25 +174,35 @@ func (p *Policy) Start(m *kernel.Machine) {
 	p.m = m
 	p.info = make(map[*task.Thread]*tinfo)
 	p.rqs = make([][]*task.Thread, len(m.Cores()))
-	p.bigIDs = m.BigCoreIDs()
-	p.littleIDs = m.LittleCoreIDs()
 	p.allIDs = p.allIDs[:0]
 	for i := range m.Cores() {
 		p.allIDs = append(p.allIDs, i)
 	}
-	if len(p.bigIDs) == 0 {
-		p.bigIDs = p.allIDs
+	nt := m.NumTiers()
+	p.tierIDs = make([][]int, nt)
+	p.rrTier = make([]int, nt)
+	p.stealOrder = make([][]int, nt)
+	for tier := 0; tier < nt; tier++ {
+		ids := m.TierCoreIDs(tier)
+		if len(ids) == 0 {
+			ids = p.allIDs // unpopulated cluster: fall back to everything
+		}
+		p.tierIDs[tier] = ids
+		order := []int{tier}
+		for other := nt - 1; other >= 0; other-- {
+			if other != tier {
+				order = append(order, other)
+			}
+		}
+		p.stealOrder[tier] = order
 	}
-	if len(p.littleIDs) == 0 {
-		p.littleIDs = p.allIDs
-	}
-	p.rrBig, p.rrLittle, p.rrAll = 0, 0, 0
+	p.rrAll = 0
 	m.Engine().After(p.opts.Interval, p.label)
 }
 
 // Admit implements kernel.Scheduler.
 func (p *Policy) Admit(t *task.Thread) {
-	p.info[t] = &tinfo{label: LabelFree, pred: perfNeutral}
+	p.info[t] = &tinfo{label: LabelFree, targetTier: -1, pred: perfNeutral}
 }
 
 const perfNeutral = 1.5
@@ -184,7 +215,7 @@ func (p *Policy) ThreadDone(t *task.Thread) {
 func (p *Policy) ti(t *task.Thread) *tinfo {
 	in := p.info[t]
 	if in == nil {
-		in = &tinfo{label: LabelFree, pred: perfNeutral}
+		in = &tinfo{label: LabelFree, targetTier: -1, pred: perfNeutral}
 		p.info[t] = in
 	}
 	return in
@@ -192,7 +223,7 @@ func (p *Policy) ti(t *task.Thread) *tinfo {
 
 // ---------------------------------------------------------------------------
 // Multi-factor labeler (§3.2): periodically refresh the runtime models and
-// re-tag every live thread.
+// re-tag every live thread with a target tier.
 
 func (p *Policy) label() {
 	if p.m.Done() {
@@ -202,9 +233,17 @@ func (p *Policy) label() {
 	if len(p.info) == 0 {
 		return
 	}
-	preds := make([]float64, 0, len(p.info))
-	blames := make([]float64, 0, len(p.info))
-	for t, in := range p.info {
+	// Iterate in thread-ID order: map order would randomise the float
+	// summation behind the thresholds and break run-to-run determinism.
+	threads := make([]*task.Thread, 0, len(p.info))
+	for t := range p.info {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i].ID < threads[j].ID })
+	preds := make([]float64, 0, len(threads))
+	blames := make([]float64, 0, len(threads))
+	for _, t := range threads {
+		in := p.info[t]
 		in.pred = p.opts.Speedup(t)
 		intervalBlame := float64(t.BlockBlame - in.lastBlame)
 		in.lastBlame = t.BlockBlame
@@ -219,16 +258,42 @@ func (p *Policy) label() {
 	// big: require a real margin above the mean.
 	highThresh := pMean + mathx.Clamp(p.opts.HighSpeedupZ*pStd, 0.02*pMean, 1)
 	lowThresh := pMean
-	for _, in := range p.info {
+	nt := p.m.NumTiers()
+	top := p.m.TopTier()
+	for _, t := range threads {
+		in := p.info[t]
 		switch {
 		case in.pred >= highThresh:
-			in.label = LabelBig
+			in.label, in.targetTier = LabelBig, top
 		case in.pred < lowThresh && in.blameEWMA <= 0.5*bMean:
-			in.label = LabelLittle
+			in.label, in.targetTier = LabelLittle, 0
+		case nt > 2 && in.blameEWMA <= 0.5*bMean:
+			// Tier-ranked middle band: non-critical threads between the
+			// thresholds are spread over the middle tiers by predicted
+			// speedup. Critical ones keep full freedom (stay free).
+			in.label = LabelMid
+			in.targetTier = middleTier(nt, in.pred, lowThresh, highThresh)
 		default:
-			in.label = LabelFree
+			in.label, in.targetTier = LabelFree, -1
 		}
 	}
+}
+
+// middleTier linearly maps a prediction inside [low, high) onto the middle
+// tier indices 1..nt-2.
+func middleTier(nt int, pred, low, high float64) int {
+	span := high - low
+	if span <= 0 {
+		return 1
+	}
+	idx := 1 + int(float64(nt-2)*(pred-low)/span)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > nt-2 {
+		idx = nt - 2
+	}
+	return idx
 }
 
 // ---------------------------------------------------------------------------
@@ -241,12 +306,9 @@ func (p *Policy) Enqueue(t *task.Thread, wakeup bool) int {
 	case p.opts.FlatAllocator:
 		core = p.rr(p.allIDs, &p.rrAll)
 	default:
-		switch p.ti(t).label {
-		case LabelBig:
-			core = p.rr(p.bigIDs, &p.rrBig)
-		case LabelLittle:
-			core = p.rr(p.littleIDs, &p.rrLittle)
-		default:
+		if tier := p.ti(t).targetTier; tier >= 0 {
+			core = p.rr(p.tierIDs[tier], &p.rrTier[tier])
+		} else {
 			core = p.rr(p.allIDs, &p.rrAll)
 		}
 	}
@@ -261,11 +323,11 @@ func (p *Policy) rr(ids []int, ctr *int) int {
 }
 
 // ---------------------------------------------------------------------------
-// Biased-global thread selector (Alg. 1: _thread_selector_).
+// Tier-ranked global thread selector (Alg. 1: _thread_selector_).
 
 // PickNext implements kernel.Scheduler: most blocking thread from the local
-// queue, then the same-type cluster, then the other cluster; an empty big
-// core may pull a thread running on a little core.
+// queue, then the same-tier cluster, then the remaining tiers from the top
+// down; an empty core may pull a thread running on a lower-tier core.
 func (p *Policy) PickNext(c *kernel.Core) *task.Thread {
 	if t := p.takeMaxBlame(c.ID, c.ID); t != nil {
 		return t
@@ -273,20 +335,16 @@ func (p *Policy) PickNext(c *kernel.Core) *task.Thread {
 	if p.opts.LocalOnlySelector {
 		return nil
 	}
-	same, other := p.littleIDs, p.bigIDs
-	if c.Kind == cpu.Big {
-		same, other = p.bigIDs, p.littleIDs
-	}
-	for _, ids := range [][]int{same, other} {
-		best, bestCore := p.scanMaxBlame(ids, c)
+	for _, tier := range p.stealOrder[int(c.Kind)] {
+		best, bestCore := p.scanMaxBlame(p.m.TierCoreIDs(tier), c)
 		if best != nil {
 			p.removeQueued(bestCore, best)
 			return best
 		}
 	}
-	if c.Kind == cpu.Big && !p.opts.DisablePull {
-		if t := p.pullFromLittle(c); t != nil {
-			return t // still Running on the little core; the kernel migrates it
+	if int(c.Kind) > 0 && !p.opts.DisablePull {
+		if t := p.pullFromLower(c); t != nil {
+			return t // still Running on the lower core; the kernel migrates it
 		}
 	}
 	return nil
@@ -344,8 +402,9 @@ func (p *Policy) removeQueued(core int, t *task.Thread) {
 }
 
 // moreCritical orders candidates: higher blocking blame first (bottleneck
-// acceleration), then higher predicted speedup (only meaningful when a big
-// core selects — the §3.1 "empty big core" exception), then lower vruntime.
+// acceleration), then higher predicted speedup (only meaningful when an
+// upper-tier core selects — the §3.1 "empty big core" exception), then
+// lower vruntime.
 //
 // Blame priority only applies within a vruntime fairness window: a thread
 // that is more than FairnessWindow of (scaled) runtime ahead of a candidate
@@ -368,18 +427,21 @@ func (p *Policy) moreCritical(a, b *task.Thread) bool {
 	return a.VRuntime < b.VRuntime
 }
 
-// pullFromLittle selects the most critical thread currently running on a
-// little core for migration onto the idle big core.
-func (p *Policy) pullFromLittle(c *kernel.Core) *task.Thread {
+// pullFromLower selects the most critical thread currently running on a
+// strictly lower tier for migration onto the idle core c. Lower tiers
+// never pull from higher ones.
+func (p *Policy) pullFromLower(c *kernel.Core) *task.Thread {
 	var best *task.Thread
 	cores := p.m.Cores()
-	for _, id := range p.littleIDs {
-		t := cores[id].Current
-		if t == nil || t.State != task.Running || !t.AllowedOn(c.ID) {
-			continue
-		}
-		if best == nil || p.moreCritical(t, best) {
-			best = t
+	for tier := 0; tier < int(c.Kind); tier++ {
+		for _, id := range p.m.TierCoreIDs(tier) {
+			t := cores[id].Current
+			if t == nil || t.State != task.Running || !t.AllowedOn(c.ID) {
+				continue
+			}
+			if best == nil || p.moreCritical(t, best) {
+				best = t
+			}
 		}
 	}
 	return best
@@ -388,18 +450,27 @@ func (p *Policy) pullFromLittle(c *kernel.Core) *task.Thread {
 // ---------------------------------------------------------------------------
 // Scale-slice fairness (§3.2 / §4.1).
 
-// TimeSlice implements kernel.Scheduler. On big cores the slice shrinks by
-// the predicted speedup so selection triggers proportionally more often.
+// tierScale is the tier-relative predicted speedup of t on c: 1 on the base
+// tier, the full prediction on the top anchor, interpolated in between.
+func (p *Policy) tierScale(c *kernel.Core, t *task.Thread) float64 {
+	if c.Kind == 0 {
+		return 1
+	}
+	return c.Tier.RelSpeedup(p.ti(t).pred)
+}
+
+// TimeSlice implements kernel.Scheduler. On upper-tier cores the slice
+// shrinks by the tier-relative predicted speedup so selection triggers
+// proportionally more often.
 func (p *Policy) TimeSlice(c *kernel.Core, t *task.Thread) sim.Time {
 	nr := len(p.rqs[c.ID]) + 1
 	slice := p.opts.TargetLatency / sim.Time(nr)
 	if slice < p.opts.MinGranularity {
 		slice = p.opts.MinGranularity
 	}
-	if c.Kind == cpu.Big && !p.opts.DisableScaleSlice {
-		pred := p.ti(t).pred
-		if pred > 1 {
-			slice = sim.Time(float64(slice) / pred)
+	if c.Kind > 0 && !p.opts.DisableScaleSlice {
+		if s := p.tierScale(c, t); s > 1 {
+			slice = sim.Time(float64(slice) / s)
 		}
 		if min := p.opts.MinGranularity / 2; slice < min {
 			slice = min
@@ -408,12 +479,13 @@ func (p *Policy) TimeSlice(c *kernel.Core, t *task.Thread) sim.Time {
 	return slice
 }
 
-// VRuntimeScale implements kernel.Scheduler: big cores charge vruntime at
-// the predicted speedup so equal vruntime means equal progress.
+// VRuntimeScale implements kernel.Scheduler: upper-tier cores charge
+// vruntime at the tier-relative predicted speedup so equal vruntime means
+// equal progress.
 func (p *Policy) VRuntimeScale(c *kernel.Core, t *task.Thread) float64 {
-	if c.Kind == cpu.Big && !p.opts.DisableScaleSlice {
-		if pred := p.ti(t).pred; pred > 1 {
-			return pred
+	if c.Kind > 0 && !p.opts.DisableScaleSlice {
+		if s := p.tierScale(c, t); s > 1 {
+			return s
 		}
 	}
 	return 1
@@ -439,6 +511,16 @@ func (p *Policy) Labels() map[*task.Thread]Label {
 	out := make(map[*task.Thread]Label, len(p.info))
 	for t, in := range p.info {
 		out[t] = in.label
+	}
+	return out
+}
+
+// TargetTiers returns a snapshot of every live thread's allocation target
+// tier (-1 = free), for diagnostics and tests.
+func (p *Policy) TargetTiers() map[*task.Thread]int {
+	out := make(map[*task.Thread]int, len(p.info))
+	for t, in := range p.info {
+		out[t] = in.targetTier
 	}
 	return out
 }

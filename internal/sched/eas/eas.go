@@ -1,10 +1,17 @@
 // Package eas implements a Linux Energy-Aware-Scheduling-like policy, the
-// modern mainline answer to big.LITTLE placement and a natural extra
+// modern mainline answer to asymmetric placement and a natural extra
 // comparison point for the energy extension. On wake-up it packs work onto
-// the cheapest core that still has spare capacity — little cores cost less
-// energy per unit of work, so they fill first; load spills to big cores
-// only when the little cluster saturates or the thread's tracked
-// utilisation does not fit a little core. Below placement it is plain CFS.
+// the cheapest tier that still has spare capacity — slower tiers cost less
+// energy per unit of work, so they fill first; load spills up the tier
+// ladder only when the cheap clusters saturate or the thread's tracked
+// utilisation does not fit them. Below placement it is plain CFS.
+//
+// On machines whose tiers expose DVFS ladders the policy doubles as a
+// schedutil-like frequency governor: at each dispatch it programs the
+// lowest operating point whose capacity covers the incoming thread's
+// utilisation plus headroom, trading performance for energy exactly as
+// mainline EAS + schedutil do. Fixed-frequency machines (the paper's gem5
+// setup) never invoke the governor.
 //
 // EAS optimises energy, not bottlenecks or asymmetric fairness (Table 1
 // has no row for it; it post-dates the paper) — expect lower energy than
@@ -25,11 +32,16 @@ type Options struct {
 	// Interval is the utilisation-sampling period.
 	Interval sim.Time
 	// LittleCapacity is the utilisation above which a thread no longer
-	// "fits" a little core and is up-placed (EAS's fits_capacity rule,
-	// expressed as a runnable-time fraction).
+	// "fits" a base-tier core and is up-placed (EAS's fits_capacity rule,
+	// expressed as a runnable-time fraction). Middle tiers interpolate
+	// their fit threshold between this value and 1 by relative capacity.
 	LittleCapacity float64
 	// LoadDecay is the EWMA retention of per-interval utilisation.
 	LoadDecay float64
+	// FreqHeadroom is the schedutil-style margin the DVFS governor keeps
+	// above the tracked utilisation when picking an operating point
+	// (mainline uses 1.25).
+	FreqHeadroom float64
 	// Power drives the energy cost comparison between clusters.
 	Power cpu.PowerModel
 }
@@ -43,6 +55,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LoadDecay == 0 {
 		o.LoadDecay = 0.5
+	}
+	if o.FreqHeadroom == 0 {
+		o.FreqHeadroom = 1.25
 	}
 	if o.Power == (cpu.PowerModel{}) {
 		o.Power = cpu.DefaultPower
@@ -63,6 +78,9 @@ type Policy struct {
 	m       *kernel.Machine
 	threads map[*task.Thread]*info
 	lastAt  sim.Time
+
+	// fitThresh[k] is the utilisation up to which a thread fits tier k.
+	fitThresh []float64
 }
 
 // New returns an EAS policy.
@@ -79,14 +97,31 @@ func (p *Policy) Start(m *kernel.Machine) {
 	p.m = m
 	p.threads = make(map[*task.Thread]*info)
 	p.lastAt = 0
+	tiers := m.Tiers()
+	p.fitThresh = make([]float64, len(tiers))
+	capLo := tiers[0].Capacity
+	capHi := tiers[len(tiers)-1].Capacity
+	for k, t := range tiers {
+		switch {
+		case k == len(tiers)-1 || capHi <= capLo:
+			p.fitThresh[k] = 1 // the top tier fits everything
+		case k == 0:
+			p.fitThresh[k] = p.opts.LittleCapacity
+		default:
+			// Interpolate the fit threshold towards 1 as capacity
+			// approaches the top tier's.
+			frac := (capHi - t.Capacity) / (capHi - capLo)
+			p.fitThresh[k] = 1 - (1-p.opts.LittleCapacity)*frac
+		}
+	}
 	m.Engine().After(p.opts.Interval, p.sample)
 }
 
 // Admit implements kernel.Scheduler.
 func (p *Policy) Admit(t *task.Thread) {
 	p.Policy.Admit(t)
-	// New threads start with modest utilisation so they begin on littles,
-	// the energy-first default.
+	// New threads start with modest utilisation so they begin on the cheap
+	// tiers, the energy-first default.
 	p.threads[t] = &info{util: 0.4}
 }
 
@@ -118,10 +153,18 @@ func (p *Policy) sample() {
 	}
 }
 
+func (p *Policy) util(t *task.Thread) float64 {
+	if in := p.threads[t]; in != nil {
+		return in.util
+	}
+	return 0.4
+}
+
 // Enqueue implements kernel.Scheduler: energy-aware wake-up placement.
-// Candidate order: idle littles (cheapest J per unit work), then idle bigs,
-// then the least-loaded allowed core. Threads whose utilisation exceeds the
-// little capacity skip the little cluster when a big candidate exists.
+// Candidate order: idle cores of the cheapest tier the thread fits, up the
+// ladder (cheapest J per unit work first), then idle cores of the tiers it
+// does not fit from the fastest down (closest to fitting first), then the
+// least-loaded allowed core.
 func (p *Policy) Enqueue(t *task.Thread, wakeup bool) int {
 	core := p.pickCore(t)
 	p.Place(t, core, wakeup)
@@ -129,15 +172,8 @@ func (p *Policy) Enqueue(t *task.Thread, wakeup bool) int {
 }
 
 func (p *Policy) pickCore(t *task.Thread) int {
-	util := 0.4
-	if in := p.threads[t]; in != nil {
-		util = in.util
-	}
-	fitsLittle := util <= p.opts.LittleCapacity
+	util := p.util(t)
 	cores := p.m.Cores()
-
-	bestIdle := -1
-	// Pass 1: idle cores, littles preferred when the thread fits them.
 	scan := func(ids []int) int {
 		for _, id := range ids {
 			if t.AllowedOn(id) && cores[id].IsIdle() && p.QueueLen(id) == 0 {
@@ -146,44 +182,72 @@ func (p *Policy) pickCore(t *task.Thread) int {
 		}
 		return -1
 	}
-	if fitsLittle {
-		bestIdle = scan(p.m.LittleCoreIDs())
+	// Pass 1: idle cores of fitting tiers, cheapest first.
+	for tier := 0; tier < p.m.NumTiers(); tier++ {
+		if util <= p.fitThresh[tier] {
+			if id := scan(p.m.TierCoreIDs(tier)); id >= 0 {
+				return id
+			}
+		}
 	}
-	if bestIdle < 0 {
-		bestIdle = scan(p.m.BigCoreIDs())
-	}
-	if bestIdle < 0 && !fitsLittle {
-		// Oversized thread, but no big core free: a little is still better
-		// than queueing behind a busy big core if one is idle.
-		bestIdle = scan(p.m.LittleCoreIDs())
-	}
-	if bestIdle >= 0 {
-		return bestIdle
+	// Oversized thread with no fitting core free: an idle slow core is
+	// still better than queueing behind a busy fast one. Closest-to-
+	// fitting (fastest) tiers first.
+	for tier := p.m.NumTiers() - 1; tier >= 0; tier-- {
+		if util > p.fitThresh[tier] {
+			if id := scan(p.m.TierCoreIDs(tier)); id >= 0 {
+				return id
+			}
+		}
 	}
 	// Pass 2: all busy — fall back to CFS least-loaded placement.
 	return p.LeastLoadedAllowed(t)
 }
 
-// PickNext implements kernel.Scheduler. Little cores behave exactly like
-// CFS. Big cores serve their own cluster's queues but pull work from the
-// little cluster only when no little core is idle — EAS suppresses
-// cross-cluster balancing while the cheap cluster still has headroom.
+// PickNext implements kernel.Scheduler. Base-tier cores behave exactly like
+// CFS. Upper-tier cores serve their own cluster's queues but pull work from
+// the cheaper tiers only when none of their cores is idle — EAS suppresses
+// up-migration while the cheap clusters still have headroom.
 func (p *Policy) PickNext(c *kernel.Core) *task.Thread {
-	if c.Kind == cpu.Little {
+	if c.Kind == 0 {
 		return p.Policy.PickNext(c)
 	}
 	if t := p.PopLocal(c.ID); t != nil {
 		return t
 	}
-	if t := p.StealInto(c.ID, p.m.BigCoreIDs()); t != nil {
+	if t := p.StealInto(c.ID, p.m.TierCoreIDs(int(c.Kind))); t != nil {
 		return t
 	}
-	for _, id := range p.m.LittleCoreIDs() {
-		if p.m.Cores()[id].IsIdle() {
-			return nil // an idle little will pick the queued work up
+	for tier := 0; tier < int(c.Kind); tier++ {
+		for _, id := range p.m.TierCoreIDs(tier) {
+			if p.m.Cores()[id].IsIdle() {
+				return nil // an idle cheaper core will pick the queued work up
+			}
 		}
 	}
-	return p.StealInto(c.ID, p.m.LittleCoreIDs())
+	for tier := int(c.Kind) - 1; tier >= 0; tier-- {
+		if t := p.StealInto(c.ID, p.m.TierCoreIDs(tier)); t != nil {
+			return t
+		}
+	}
+	return nil
 }
 
-var _ kernel.Scheduler = (*Policy)(nil)
+// SelectOPP implements kernel.DVFSGovernor: a schedutil-like governor that
+// programs the lowest operating point whose frequency covers the incoming
+// thread's utilisation plus headroom at the tier's nominal capacity.
+func (p *Policy) SelectOPP(c *kernel.Core, t *task.Thread) int {
+	target := p.util(t) * p.opts.FreqHeadroom * float64(c.Tier.FreqMHz)
+	ladder := c.Tier.Ladder()
+	for i, f := range ladder {
+		if float64(f) >= target {
+			return i
+		}
+	}
+	return len(ladder) - 1
+}
+
+var (
+	_ kernel.Scheduler    = (*Policy)(nil)
+	_ kernel.DVFSGovernor = (*Policy)(nil)
+)

@@ -1,12 +1,17 @@
 // Package gts implements an ARM Global Task Scheduling–like policy
 // (big.LITTLE MP, Table 1 row "ARM [11]"): thread affinity follows each
-// thread's tracked load average — busy threads up-migrate to big cores,
-// mostly-waiting threads down-migrate to little cores — with hysteresis
-// thresholds. No bottleneck awareness, no asymmetric fairness. It exists as
-// the extension comparison point the paper discusses qualitatively (§2).
+// thread's tracked load average — busy threads up-migrate towards faster
+// tiers, mostly-waiting threads down-migrate towards slower tiers — with
+// hysteresis thresholds. On multi-tier machines (DynamIQ-style) migration
+// moves one tier at a time, exactly as the stepwise up/down thresholds of
+// the real governor behave. No bottleneck awareness, no asymmetric
+// fairness. It exists as the extension comparison point the paper discusses
+// qualitatively (§2).
 package gts
 
 import (
+	"sort"
+
 	"colab/internal/kernel"
 	"colab/internal/sched/cfs"
 	"colab/internal/sim"
@@ -46,11 +51,11 @@ type info struct {
 	load     float64
 	lastExec sim.Time
 	lastRdy  sim.Time
-	onBig    bool
+	tier     int // current placement tier (affinity ladder rung)
 }
 
 // Policy is the GTS-like scheduler: CFS mechanics plus load-average
-// affinity steering.
+// affinity steering over the tier ladder.
 type Policy struct {
 	*cfs.Policy
 	opts    Options
@@ -58,7 +63,11 @@ type Policy struct {
 	threads map[*task.Thread]*info
 	lastAt  sim.Time
 
-	bigMask, littleMask uint64
+	// tierMask[k] is the affinity mask of tier k's cores; unpopulated
+	// tiers borrow the nearest populated tier's mask (below first, then
+	// above), so symmetric machines degenerate to a single rung.
+	tierMask []uint64
+	topTier  int
 }
 
 // New returns a GTS policy.
@@ -75,19 +84,39 @@ func (p *Policy) Start(m *kernel.Machine) {
 	p.m = m
 	p.threads = make(map[*task.Thread]*info)
 	p.lastAt = 0
-	p.bigMask = task.MaskOf(m.BigCoreIDs())
-	p.littleMask = task.MaskOf(m.LittleCoreIDs())
-	if p.littleMask == 0 {
-		p.littleMask = p.bigMask
+	p.topTier = m.NumTiers() - 1
+	p.tierMask = make([]uint64, m.NumTiers())
+	for tier := range p.tierMask {
+		p.tierMask[tier] = task.MaskOf(m.TierCoreIDs(tier))
+	}
+	for tier := range p.tierMask {
+		if p.tierMask[tier] == 0 {
+			p.tierMask[tier] = p.nearestMask(tier)
+		}
 	}
 	m.Engine().After(p.opts.Interval, p.sample)
+}
+
+// nearestMask finds the mask of the nearest populated tier, preferring
+// lower tiers (down-migration is always safe).
+func (p *Policy) nearestMask(tier int) uint64 {
+	for d := 1; d <= p.topTier; d++ {
+		if lo := tier - d; lo >= 0 && p.tierMask[lo] != 0 {
+			return p.tierMask[lo]
+		}
+		if hi := tier + d; hi <= p.topTier && p.tierMask[hi] != 0 {
+			return p.tierMask[hi]
+		}
+	}
+	return task.AffinityAll
 }
 
 // Admit implements kernel.Scheduler.
 func (p *Policy) Admit(t *task.Thread) {
 	p.Policy.Admit(t)
-	// New threads start heavy (GTS boots threads on big): optimistic load.
-	p.threads[t] = &info{load: 1, onBig: true}
+	// New threads start heavy (GTS boots threads on the fastest tier):
+	// optimistic load.
+	p.threads[t] = &info{load: 1, tier: p.topTier}
 	t.Affinity = task.AffinityAll
 }
 
@@ -108,7 +137,15 @@ func (p *Policy) sample() {
 	if wall <= 0 || len(p.threads) == 0 {
 		return
 	}
-	for t, in := range p.threads {
+	// Iterate in thread-ID order: map order would randomise the affinity
+	// re-queue sequence and break run-to-run determinism.
+	threads := make([]*task.Thread, 0, len(p.threads))
+	for t := range p.threads {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i].ID < threads[j].ID })
+	for _, t := range threads {
+		in := p.threads[t]
 		running := float64(t.SumExec - in.lastExec)
 		ready := float64(t.ReadyTime - in.lastRdy)
 		in.lastExec = t.SumExec
@@ -119,15 +156,12 @@ func (p *Policy) sample() {
 		}
 		in.load = p.opts.LoadDecay*in.load + (1-p.opts.LoadDecay)*inst
 		switch {
-		case !in.onBig && in.load > p.opts.UpThreshold:
-			in.onBig = true
-		case in.onBig && in.load < p.opts.DownThreshold:
-			in.onBig = false
+		case in.tier < p.topTier && in.load > p.opts.UpThreshold:
+			in.tier++
+		case in.tier > 0 && in.load < p.opts.DownThreshold:
+			in.tier--
 		}
-		mask := p.littleMask
-		if in.onBig {
-			mask = p.bigMask
-		}
+		mask := p.tierMask[in.tier]
 		if t.Affinity != mask {
 			t.Affinity = mask
 			if core := p.QueuedOn(t); core >= 0 && !t.AllowedOn(core) {

@@ -1,0 +1,36 @@
+package gts_test
+
+import (
+	"testing"
+
+	"colab/internal/cpu"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// On the tri-gear ladder the stepwise up/down migration must park a
+// CPU-bound thread on the big cluster and walk a mostly-sleeping thread
+// down to the little cluster, with the middle tier crossed on the way.
+func TestTriGearLadderSteering(t *testing.T) {
+	a := &task.App{ID: 0, Name: "m"}
+	busy := &task.Thread{App: a, Name: "busy", Profile: plain,
+		Program: task.Program{task.Compute{Work: 300e6}}}
+	var lazyProg task.Program
+	for i := 0; i < 60; i++ {
+		lazyProg = append(lazyProg, task.Compute{Work: 0.3e6}, task.Sleep{Duration: 4 * sim.Millisecond})
+	}
+	lazy := &task.Thread{App: a, Name: "lazy", Profile: plain, Program: lazyProg}
+	a.Threads = []*task.Thread{busy, lazy}
+	w := &task.Workload{Name: "m", Apps: []*task.App{a}}
+	res := runGTS(t, cpu.Config2B2M2S, w)
+
+	// SumExecBig counts top-tier time on the tri-gear machine.
+	busyShare := float64(res.Threads[0].SumExecBig) / float64(res.Threads[0].SumExec)
+	lazyShare := float64(res.Threads[1].SumExecBig) / float64(res.Threads[1].SumExec)
+	if busyShare < 0.8 {
+		t.Errorf("busy thread big-tier share %.2f, want >= 0.8", busyShare)
+	}
+	if lazyShare > 0.3 {
+		t.Errorf("lazy thread big-tier share %.2f, want <= 0.3 (should step down the ladder)", lazyShare)
+	}
+}

@@ -8,6 +8,8 @@
 package wash
 
 import (
+	"sort"
+
 	"colab/internal/cpu"
 	"colab/internal/kernel"
 	"colab/internal/mathx"
@@ -119,16 +121,22 @@ func (p *Policy) label() {
 	if len(p.threads) == 0 {
 		return
 	}
+	// Iterate in thread-ID order: map order would randomise both the
+	// score-normalisation sums and the affinity re-queue sequence.
 	threads := make([]*task.Thread, 0, len(p.threads))
-	preds := make([]float64, 0, len(p.threads))
-	blames := make([]float64, 0, len(p.threads))
-	for t, in := range p.threads {
+	for t := range p.threads {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i].ID < threads[j].ID })
+	preds := make([]float64, 0, len(threads))
+	blames := make([]float64, 0, len(threads))
+	for _, t := range threads {
+		in := p.threads[t]
 		in.pred = p.opts.Speedup(t)
 		intervalBlame := float64(t.BlockBlame - in.lastBlame)
 		in.lastBlame = t.BlockBlame
 		in.blameEWMA = p.opts.BlameDecay*in.blameEWMA + (1-p.opts.BlameDecay)*intervalBlame
 		t.IntervalCounters = cpu.Vec{}
-		threads = append(threads, t)
 		preds = append(preds, in.pred)
 		blames = append(blames, in.blameEWMA)
 	}

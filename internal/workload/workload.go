@@ -139,7 +139,11 @@ func (ab *appBuilder) thread(name string, prof cpu.WorkProfile, prog task.Progra
 
 // ---------------------------------------------------------------------------
 // Work profiles. Each returns a jittered instance of a microarchitectural
-// archetype; TrueSpeedup ranges are noted for orientation.
+// archetype. The noted speedup ranges are big-anchor values; on machines
+// with middle tiers each profile's per-tier speedup follows
+// cpu.WorkProfile.SpeedupOn (e.g. a ~2.5x-on-big kernel lands near ~1.7x
+// on a DynamIQ-style medium core), so the same generators exercise any
+// tier palette.
 
 // computeProfile: high-ILP floating-point kernels (~2.3-2.8x on big).
 func computeProfile(rng *mathx.RNG) cpu.WorkProfile {
@@ -377,5 +381,21 @@ func SortedThreadWork(a *task.App) []float64 {
 		out = append(out, t.Program.TotalWork())
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// TierSpeedups returns each thread's true speedup on every tier of the
+// palette (rows follow a.Threads, columns the tiers). Characterisation
+// tooling uses it to show how a benchmark's core sensitivity spreads over a
+// multi-tier machine.
+func TierSpeedups(a *task.App, tiers []cpu.Tier) [][]float64 {
+	out := make([][]float64, len(a.Threads))
+	for i, t := range a.Threads {
+		row := make([]float64, len(tiers))
+		for j, tier := range tiers {
+			row[j] = t.Profile.SpeedupOn(tier)
+		}
+		out[i] = row
+	}
 	return out
 }
