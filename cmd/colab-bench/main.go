@@ -9,7 +9,8 @@
 //	colab-bench -fig 5       # one figure
 //	colab-bench -summary     # just the closing aggregate
 //	colab-bench -ablation    # design-choice ablations
-//	colab-bench -trigear     # five policies on the 2B2M2S machine
+//	colab-bench -trigear     # six policies on the 2B2M2S machine
+//	colab-bench -oppsweep    # COLAB across the 2B2M2S frequency ladders
 package main
 
 import (
@@ -53,7 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	summary := fs.Bool("summary", false, "regenerate only the 312-experiment summary")
 	ablation := fs.Bool("ablation", false, "run the COLAB design-choice ablations")
 	energy := fs.Bool("energy", false, "run the energy/EDP extension table")
-	trigear := fs.Bool("trigear", false, "run the tri-gear (2B2M2S) five-policy extension table")
+	trigear := fs.Bool("trigear", false, "run the tri-gear (2B2M2S) policy extension table")
+	oppsweep := fs.Bool("oppsweep", false, "run the COLAB frequency-ladder sweep on the 2B2M2S machine")
 	replication := fs.Bool("replication", false, "run the multi-seed variance table")
 	detail := fs.Bool("detail", false, "print every per-workload cell of the matrix")
 	tables := fs.Bool("tables", false, "regenerate only tables 2-4")
@@ -83,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tableJob("ablation", r.Ablation),
 		tableJob("energy", r.EnergyTable),
 		tableJob("trigear", r.TriGearTable),
+		tableJob("oppsweep", r.OPPSweepTable),
 		tableJob("replication", func() (*experiment.Table, error) {
 			return experiment.ReplicationTable(nil)
 		}),
@@ -101,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		names = []string{"energy"}
 	case *trigear:
 		names = []string{"trigear"}
+	case *oppsweep:
+		names = []string{"oppsweep"}
 	case *replication:
 		names = []string{"replication"}
 	case *detail:

@@ -1,0 +1,147 @@
+// Command colab-benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can publish the benchmark
+// trajectory (ns/op plus the harness's custom metrics such as
+// H_ANTT-vs-linux and R2) as a build artefact.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | colab-benchjson -out BENCH_ci.json
+//	colab-benchjson -in bench.txt -out BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark function name with the -GOMAXPROCS suffix
+	// stripped (e.g. "BenchmarkSummaryAll").
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further reported unit (B/op, allocs/op and the
+	// custom b.ReportMetric series like H_ANTT-vs-linux).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document layout of BENCH_ci.json.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "colab-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("colab-benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "bench output file (default: stdin)")
+	out := fs.String("out", "", "JSON destination (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = stdout.Write(data)
+	return err
+}
+
+// Parse reads `go test -bench` output and collects every benchmark line.
+// Non-benchmark lines (headers, PASS/ok, test logs) are skipped; malformed
+// benchmark lines are an error so CI fails loudly rather than publishing a
+// truncated artefact.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// A result line is "BenchmarkName-P N <value unit>...": require a
+		// numeric iteration count to skip "BenchmarkX ran in ..." chatter.
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(fields[0]), Iterations: iters}
+		rest := fields[2:]
+		if len(rest)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line (odd value/unit pairing): %q", line)
+		}
+		for i := 0; i < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("malformed value %q in line %q: %v", rest[i], line, err)
+			}
+			unit := rest[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return rep, nil
+}
+
+// trimProcs strips the trailing -GOMAXPROCS suffix from a benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: colab
+cpu: Example CPU
+BenchmarkTable2TrainSpeedupModel-8   	       1	  55113272 ns/op	         0.975 R2
+BenchmarkTable3Characterization-8    	       1	   1201000 ns/op	  524288 B/op	    1024 allocs/op
+BenchmarkSummaryAll-8                	       1	9000000000 ns/op	         0.621 colab-H_ANTT-vs-linux	         0.811 wash-H_ANTT-vs-linux
+PASS
+ok  	colab	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkTable2TrainSpeedupModel" || b0.Iterations != 1 || b0.NsPerOp != 55113272 {
+		t.Errorf("first benchmark parsed as %+v", b0)
+	}
+	if got := b0.Metrics["R2"]; got != 0.975 {
+		t.Errorf("R2 metric %v, want 0.975", got)
+	}
+	b2 := rep.Benchmarks[2]
+	if got := b2.Metrics["colab-H_ANTT-vs-linux"]; got != 0.621 {
+		t.Errorf("custom metric %v, want 0.621", got)
+	}
+	if _, ok := rep.Benchmarks[1].Metrics["allocs/op"]; !ok {
+		t.Error("allocs/op metric lost")
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" {
+		t.Error("environment metadata missing")
+	}
+}
+
+func TestParseRejectsEmptyAndMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok colab 1s\n")); err == nil {
+		t.Error("empty bench output must be an error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 1 12 ns/op trailing\n")); err == nil {
+		t.Error("odd value/unit pairing must be an error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 1 notanumber ns/op\n")); err == nil {
+		t.Error("non-numeric value must be an error")
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH_ci.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artefact is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("artefact holds %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo-128":    "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+		"BenchmarkFoo-bar-16": "BenchmarkFoo-bar",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -84,6 +84,11 @@ type (
 	Time = sim.Time
 	// SpeedupModel is the trained Table 2 performance model.
 	SpeedupModel = perfmodel.Model
+	// TieredSpeedupModel is the multi-tier extension of SpeedupModel: one
+	// independently trained model per upper tier of a palette, collected
+	// from that tier's own counter runs instead of interpolating the big
+	// anchor.
+	TieredSpeedupModel = perfmodel.TieredModel
 	// MixScore carries the H_ANTT / H_STP pair of one run.
 	MixScore = metrics.MixScore
 	// Composition is one Table 4 multi-programmed workload description.
@@ -194,6 +199,17 @@ func BuildBenchmark(name string, threads int, seed uint64) (*Workload, error) {
 // process-wide.
 func TrainSpeedupModel() (*SpeedupModel, error) { return perfmodel.Default() }
 
+// TrainTieredSpeedupModel collects per-tier symmetric training runs over an
+// arbitrary palette (ascending capacity, >= 2 tiers) and fits one
+// six-counter model per upper tier.
+func TrainTieredSpeedupModel(tiers []Tier) (*TieredSpeedupModel, error) {
+	return perfmodel.TrainTiered(tiers, perfmodel.CollectOptions{})
+}
+
+// TrainTriGearSpeedupModel returns the process-cached tiered model for the
+// standard tri-gear palette (TriGearTiers).
+func TrainTriGearSpeedupModel() (*TieredSpeedupModel, error) { return perfmodel.DefaultTriGear() }
+
 // NewLinux returns the Linux CFS baseline policy.
 func NewLinux() Scheduler { return cfs.New(cfs.Options{}) }
 
@@ -223,6 +239,24 @@ func NewCOLAB(model *SpeedupModel) Scheduler {
 // NewCOLABWithOptions returns a COLAB policy with explicit options (for
 // ablations and tuning studies).
 func NewCOLABWithOptions(o COLABOptions) Scheduler { return colabsched.New(o) }
+
+// NewCOLABDVFS returns the COLAB policy with its native label-driven DVFS
+// governor enabled and, when a tiered model is given, per-tier trained
+// speedup predictions instead of anchor interpolation. On fixed-frequency
+// machines (the paper's configs) the governor never engages and only the
+// prediction source differs.
+func NewCOLABDVFS(model *SpeedupModel, tiered *TieredSpeedupModel) Scheduler {
+	o := colabsched.Options{Governor: true}
+	if model != nil {
+		o.Speedup = model.ThreadPredictor()
+	}
+	if tiered != nil {
+		// The palette disables per-tier predictions on machines the model
+		// was not trained for (interpolation takes over there).
+		o.TierSpeedup, o.TierSpeedupTiers = tiered.TierPredictor(), tiered.Tiers
+	}
+	return colabsched.New(o)
+}
 
 // NewGTS returns the ARM Global Task Scheduling-like policy.
 func NewGTS() Scheduler { return gts.New(gts.Options{}) }

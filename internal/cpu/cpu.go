@@ -408,6 +408,18 @@ func NewSymmetric(kind Kind, n int) Config {
 	return Config{Name: fmt.Sprintf("%d%s", n, kind), Kinds: kinds}
 }
 
+// NewSymmetricTier builds an n-core machine whose cores all belong to the
+// given tier — the single-tier training machines per-tier speedup models
+// collect their counter runs on (the multi-tier analogue of NewSymmetric).
+func NewSymmetricTier(t Tier, n int) Config {
+	kinds := make([]Kind, n)
+	sym := t.Symbol
+	if sym == "" {
+		sym = t.Name
+	}
+	return Config{Name: fmt.Sprintf("%d%s-sym", n, sym), Kinds: kinds, TierSet: []Tier{t}}
+}
+
 // The four evaluated platform shapes (§5.1): xB yS = x big + y little cores.
 var (
 	Config2B2S = NewConfig(2, 2, true)

@@ -31,6 +31,10 @@ const (
 	SchedCOLAB = "colab"
 	SchedGTS   = "gts"
 	SchedEAS   = "eas"
+	// SchedCOLABDVFS is COLAB with its native DVFS governor and per-tier
+	// trained speedup models (tri-gear extension; identical to SchedCOLAB
+	// on fixed-frequency machines apart from the per-tier predictions).
+	SchedCOLABDVFS = "colab-dvfs"
 	// Ablation variants of COLAB (DESIGN.md §4).
 	SchedCOLABNoScale = "colab-noscale" // scale-slice fairness off
 	SchedCOLABLocal   = "colab-local"   // biased-global selector off
@@ -53,6 +57,10 @@ type Runner struct {
 	// Speedup is the online predictor given to the AMP-aware schedulers.
 	// Defaults to the lazily trained standard model.
 	Speedup func(*task.Thread) float64
+	// TierSpeedup is the per-tier predictor SchedCOLABDVFS uses. When nil,
+	// the lazily trained tri-gear tiered model (perfmodel.DefaultTriGear)
+	// is substituted on first use.
+	TierSpeedup func(*task.Thread, int) float64
 	// Seed drives workload generation. Two core orders of the same seed
 	// form one experiment.
 	Seed uint64
@@ -94,6 +102,22 @@ func (r *Runner) NewScheduler(kind string) (kernel.Scheduler, error) {
 		return gts.New(gts.Options{}), nil
 	case SchedEAS:
 		return eas.New(eas.Options{}), nil
+	case SchedCOLABDVFS:
+		o := colab.Options{Speedup: r.Speedup, Governor: true}
+		if r.TierSpeedup != nil {
+			o.TierSpeedup = r.TierSpeedup
+		} else {
+			tm, err := perfmodel.DefaultTriGear()
+			if err != nil {
+				return nil, fmt.Errorf("experiment: training tri-gear tiered model: %w", err)
+			}
+			// The palette lets the policy disable per-tier predictions on
+			// machines the model was not trained for (e.g. the two-tier
+			// paper configs) instead of mispredicting through wrong tier
+			// indices.
+			o.TierSpeedup, o.TierSpeedupTiers = tm.TierPredictor(), tm.Tiers
+		}
+		return colab.New(o), nil
 	case SchedCOLABNoScale:
 		return colab.New(colab.Options{Speedup: r.Speedup, DisableScaleSlice: true}), nil
 	case SchedCOLABLocal:

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -53,6 +54,27 @@ func TestTriGearTable(t *testing.T) {
 		if !strings.Contains(out, kind) {
 			t.Errorf("table misses %s:\n%s", kind, out)
 		}
+	}
+	// The tri-gear acceptance bar: COLAB's native governor must land below
+	// fixed-frequency COLAB on both energy and EDP (columns 3 and 4), and
+	// must actually leave the nominal point (f@nom, column 5).
+	edp := map[string][3]float64{}
+	for _, row := range tbl.Rows {
+		var e, d, f float64
+		if _, err := fmt.Sscanf(row[3]+" "+row[4]+" "+row[5], "%f %f %f", &e, &d, &f); err != nil {
+			t.Fatalf("unparseable row %v: %v", row, err)
+		}
+		edp[row[0]] = [3]float64{e, d, f}
+	}
+	fixed, gov := edp[SchedCOLAB], edp[SchedCOLABDVFS]
+	if gov[1] >= fixed[1] {
+		t.Errorf("colab-dvfs EDP %.3f not below fixed-frequency colab %.3f", gov[1], fixed[1])
+	}
+	if gov[0] >= fixed[0] {
+		t.Errorf("colab-dvfs energy %.3f not below fixed-frequency colab %.3f", gov[0], fixed[0])
+	}
+	if gov[2] >= 1 || fixed[2] != 1 {
+		t.Errorf("residency: colab-dvfs f@nom %.3f (want < 1), colab %.3f (want 1)", gov[2], fixed[2])
 	}
 	t.Log("\n" + out)
 }

@@ -551,7 +551,7 @@ func (m *Machine) accrueExec(c *Core, t *task.Thread, d sim.Time) {
 	t.VRuntime += sim.Time(float64(d) * scale)
 	c.accrueBusy(d)
 	cycles := float64(d) * c.FreqGHz()
-	vec := cpu.SampleCounters(m.ctrRNG, t.Profile, c.Kind, work, cycles, 0)
+	vec := cpu.SampleCountersOn(m.ctrRNG, t.Profile, c.Tier, work, cycles, 0)
 	t.TotalCounters.Add(vec)
 	t.IntervalCounters.Add(vec)
 }

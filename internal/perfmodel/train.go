@@ -88,16 +88,22 @@ func CollectSamples(opt CollectOptions) ([]Sample, error) {
 // runSymmetric executes one benchmark alone on an all-big or all-little
 // machine under CFS and returns the workload with populated accounting.
 func runSymmetric(bench string, threads int, kind cpu.Kind, opt CollectOptions) (*task.Workload, error) {
+	return runSingleOn(bench, threads, cpu.NewSymmetric(kind, opt.Cores), opt)
+}
+
+// runSingleOn executes one benchmark alone on an arbitrary machine under CFS
+// and returns the workload with populated accounting.
+func runSingleOn(bench string, threads int, cfg cpu.Config, opt CollectOptions) (*task.Workload, error) {
 	w, err := workload.SingleProgram(bench, threads, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := kernel.NewMachine(cpu.NewSymmetric(kind, opt.Cores), cfs.New(cfs.Options{}), w, kernel.Params{})
+	m, err := kernel.NewMachine(cfg, cfs.New(cfs.Options{}), w, kernel.Params{})
 	if err != nil {
-		return nil, fmt.Errorf("perfmodel: training run %s on %v: %w", bench, kind, err)
+		return nil, fmt.Errorf("perfmodel: training run %s on %s: %w", bench, cfg.Name, err)
 	}
 	if _, err := m.Run(); err != nil {
-		return nil, fmt.Errorf("perfmodel: training run %s on %v: %w", bench, kind, err)
+		return nil, fmt.Errorf("perfmodel: training run %s on %s: %w", bench, cfg.Name, err)
 	}
 	return w, nil
 }

@@ -82,6 +82,31 @@ type Options struct {
 	Interval sim.Time
 	// Speedup predicts a thread's big-vs-little speedup (trained model).
 	Speedup func(*task.Thread) float64
+	// TierSpeedup, when set, predicts a thread's tier-vs-base speedup
+	// directly per tier index (per-tier trained model). When nil, upper-tier
+	// scaling interpolates the big-anchor Speedup prediction through
+	// Tier.RelSpeedup — the two-anchor fallback.
+	TierSpeedup func(*task.Thread, int) float64
+	// TierSpeedupTiers is the palette TierSpeedup was trained for. When set
+	// and the machine's palette differs (a tri-gear model on a two-tier
+	// machine, say), per-tier predictions are disabled for that run and
+	// upper-tier scaling falls back to interpolation — tier indices would
+	// otherwise select the wrong tier's model and clamp to the wrong
+	// envelope.
+	TierSpeedupTiers []cpu.Tier
+	// Governor enables the COLAB-native DVFS governor on machines whose
+	// tiers expose frequency ladders: cores running critical or
+	// high-speedup threads are boosted to the top operating point, cores
+	// running low-speedup non-critical threads are capped at the ladder's
+	// middle step, and middle-band threads run one step below nominal (see
+	// governor.go for the full decision rules). Downshifts are hysteretic
+	// (one ladder step per GovernorHold); fixed-frequency machines (the
+	// paper's setup) never invoke it.
+	Governor bool
+	// GovernorHold is the minimum residency at an operating point before
+	// the governor lowers a core's frequency by one step (upshifts are
+	// immediate).
+	GovernorHold sim.Time
 	// HighSpeedupZ sets the high-speedup threshold at mean + z*std of the
 	// current ready-thread speedup distribution.
 	HighSpeedupZ float64
@@ -124,6 +149,9 @@ func (o Options) withDefaults() Options {
 	if o.FairnessWindow == 0 {
 		o.FairnessWindow = 4 * o.TargetLatency
 	}
+	if o.GovernorHold == 0 {
+		o.GovernorHold = 2 * sim.Millisecond
+	}
 	return o
 }
 
@@ -132,8 +160,11 @@ type tinfo struct {
 	label      Label
 	targetTier int // tier the allocator steers to; -1 = free
 	pred       float64
-	blameEWMA  float64
-	lastBlame  sim.Time
+	// tierPred caches the per-tier speedup predictions of the last labeling
+	// pass (nil until the first pass, or when no TierSpeedup model is set).
+	tierPred  []float64
+	blameEWMA float64
+	lastBlame sim.Time
 }
 
 // Policy is the COLAB scheduler.
@@ -154,6 +185,12 @@ type Policy struct {
 	// in selection order: the core's own tier first, then the remaining
 	// tiers from the top of the machine down.
 	stealOrder [][]int
+	// govSince[coreID] is when the governor last changed that core's
+	// operating point (downshift hysteresis).
+	govSince []sim.Time
+	// useTierPred reports whether TierSpeedup applies to this machine
+	// (set in Start after the palette check).
+	useTierPred bool
 }
 
 // New returns a COLAB policy.
@@ -165,6 +202,9 @@ func New(opts Options) *Policy {
 func (p *Policy) Name() string {
 	if p.opts.DisableScaleSlice || p.opts.LocalOnlySelector || p.opts.FlatAllocator || p.opts.DisablePull {
 		return "colab-ablated"
+	}
+	if p.opts.Governor {
+		return "colab-dvfs"
 	}
 	return "colab"
 }
@@ -197,6 +237,9 @@ func (p *Policy) Start(m *kernel.Machine) {
 		p.stealOrder[tier] = order
 	}
 	p.rrAll = 0
+	p.govSince = make([]sim.Time, len(m.Cores()))
+	p.useTierPred = p.opts.TierSpeedup != nil &&
+		(p.opts.TierSpeedupTiers == nil || paletteMatches(p.opts.TierSpeedupTiers, m.Tiers()))
 	m.Engine().After(p.opts.Interval, p.label)
 }
 
@@ -242,9 +285,19 @@ func (p *Policy) label() {
 	sort.Slice(threads, func(i, j int) bool { return threads[i].ID < threads[j].ID })
 	preds := make([]float64, 0, len(threads))
 	blames := make([]float64, 0, len(threads))
+	nt := p.m.NumTiers()
 	for _, t := range threads {
 		in := p.info[t]
 		in.pred = p.opts.Speedup(t)
+		if p.useTierPred {
+			if in.tierPred == nil {
+				in.tierPred = make([]float64, nt)
+			}
+			in.tierPred[0] = 1
+			for tier := 1; tier < nt; tier++ {
+				in.tierPred[tier] = p.opts.TierSpeedup(t, tier)
+			}
+		}
 		intervalBlame := float64(t.BlockBlame - in.lastBlame)
 		in.lastBlame = t.BlockBlame
 		in.blameEWMA = p.opts.BlameDecay*in.blameEWMA + (1-p.opts.BlameDecay)*intervalBlame
@@ -258,7 +311,6 @@ func (p *Policy) label() {
 	// big: require a real margin above the mean.
 	highThresh := pMean + mathx.Clamp(p.opts.HighSpeedupZ*pStd, 0.02*pMean, 1)
 	lowThresh := pMean
-	nt := p.m.NumTiers()
 	top := p.m.TopTier()
 	for _, t := range threads {
 		in := p.info[t]
@@ -277,6 +329,22 @@ func (p *Policy) label() {
 			in.label, in.targetTier = LabelFree, -1
 		}
 	}
+}
+
+// paletteMatches reports whether the machine's palette is the one a tiered
+// predictor was trained for, on the fields prediction semantics depend on.
+func paletteMatches(trained, machine []cpu.Tier) bool {
+	if len(trained) != len(machine) {
+		return false
+	}
+	for i := range trained {
+		a, b := trained[i], machine[i]
+		if a.Name != b.Name || a.FreqMHz != b.FreqMHz || a.Uarch != b.Uarch ||
+			a.Capacity != b.Capacity || a.MinSpeedup != b.MinSpeedup || a.MaxSpeedup != b.MaxSpeedup {
+			return false
+		}
+	}
+	return true
 }
 
 // middleTier linearly maps a prediction inside [low, high) onto the middle
@@ -451,12 +519,21 @@ func (p *Policy) pullFromLower(c *kernel.Core) *task.Thread {
 // Scale-slice fairness (§3.2 / §4.1).
 
 // tierScale is the tier-relative predicted speedup of t on c: 1 on the base
-// tier, the full prediction on the top anchor, interpolated in between.
+// tier and, in two-anchor mode, the big prediction interpolated through
+// Tier.RelSpeedup in between. With a per-tier trained model (TierSpeedup)
+// the labeler's cached per-tier prediction is used directly instead.
 func (p *Policy) tierScale(c *kernel.Core, t *task.Thread) float64 {
 	if c.Kind == 0 {
 		return 1
 	}
-	return c.Tier.RelSpeedup(p.ti(t).pred)
+	in := p.ti(t)
+	if in.tierPred != nil {
+		if s := in.tierPred[c.Kind]; s > 1 {
+			return s
+		}
+		return 1
+	}
+	return c.Tier.RelSpeedup(in.pred)
 }
 
 // TimeSlice implements kernel.Scheduler. On upper-tier cores the slice

@@ -1,0 +1,79 @@
+package colab
+
+import (
+	"colab/internal/kernel"
+	"colab/internal/task"
+)
+
+// The COLAB-native DVFS governor (tri-gear extension). Where EAS programs
+// frequency from tracked utilisation, COLAB already knows *why* a thread
+// matters — the labeler's multi-factor criticality tags — so the governor
+// maps labels straight onto operating points:
+//
+//   - big / free threads hold the top OPP: high-speedup threads convert
+//     frequency into progress, and free threads include the high-blame
+//     bottlenecks whose waiters the whole mix is stalled on;
+//   - little-labelled threads (low predicted speedup AND low blocking
+//     blame) are capped at the ladder's middle step: memory-bound work
+//     gains little from clock and nobody is waiting for it, so the
+//     cube-law dynamic power is mostly waste — but capping all the way to
+//     the bottom stretches saturated mixes' makespan enough to lose the
+//     EDP it saved, so the cap stops halfway;
+//   - mid-labelled threads run one step below nominal, the cluster's
+//     efficiency point.
+//
+// Two guards keep the governor honest: a thread that released futex
+// waiters since the last labeling pass is boosted regardless of its label
+// (criticality moves faster than the 10 ms labeler in sync-heavy mixes),
+// and downshifts walk the ladder one step per GovernorHold so a single
+// mislabelled interval cannot park a core low. Upshifts apply immediately —
+// a bottleneck must never wait on the governor.
+
+// OPPForLabel maps a labeler tag onto the operating-point index the
+// governor requests on a ladder of numOPPs ascending frequencies.
+func OPPForLabel(l Label, numOPPs int) int {
+	if numOPPs <= 1 {
+		return 0
+	}
+	switch l {
+	case LabelLittle:
+		return (numOPPs - 1) / 2
+	case LabelMid:
+		return numOPPs - 2
+	default: // LabelBig and LabelFree: full speed
+		return numOPPs - 1
+	}
+}
+
+// SelectOPP implements kernel.DVFSGovernor. With Options.Governor unset it
+// pins every core at nominal, reproducing fixed-frequency COLAB exactly.
+func (p *Policy) SelectOPP(c *kernel.Core, t *task.Thread) int {
+	if !p.opts.Governor {
+		return c.NumOPPs() - 1
+	}
+	cur := c.OPP()
+	in := p.ti(t)
+	want := OPPForLabel(in.label, c.NumOPPs())
+	// Blame is only folded into labels every Interval, but criticality moves
+	// faster than that in sync-heavy mixes: a thread that released waiters
+	// since the last labeling pass holds a contended resource right now and
+	// must not run derated, whatever its label says.
+	if t.BlockBlame > in.lastBlame {
+		want = c.NumOPPs() - 1
+	}
+	now := p.m.Now()
+	switch {
+	case want > cur:
+		p.govSince[c.ID] = now
+		return want
+	case want < cur:
+		if now-p.govSince[c.ID] < p.opts.GovernorHold {
+			return cur // hysteresis: hold before stepping down
+		}
+		p.govSince[c.ID] = now
+		return cur - 1
+	}
+	return cur
+}
+
+var _ kernel.DVFSGovernor = (*Policy)(nil)
