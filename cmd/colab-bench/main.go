@@ -9,15 +9,21 @@
 //	colab-bench -fig 5       # one figure
 //	colab-bench -summary     # just the closing aggregate
 //	colab-bench -ablation    # design-choice ablations
+//	colab-bench -delta       # paper-vs-repro quantitative delta table
 //	colab-bench -trigear     # six policies on the 2B2M2S machine
 //	colab-bench -oppsweep    # COLAB across the 2B2M2S frequency ladders
+//
+// Ctrl-C cancels: context-aware jobs (-delta, -csv) abort mid-matrix, the
+// job loop stops before the next job, and a second Ctrl-C kills outright.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"colab/internal/cpu"
@@ -41,18 +47,32 @@ func tableJob(name string, f func() (*experiment.Table, error)) job {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Two-stage interrupt: the first Ctrl-C cancels ctx (context-aware jobs
+	// abort mid-matrix, the job loop stops before the next job); the second
+	// falls back to the default signal action and kills the process.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "colab-bench: interrupt — cancelling (press Ctrl-C again to kill)")
+		cancel()
+		signal.Stop(sig)
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "colab-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("colab-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.Int("fig", 0, "regenerate a single figure (4-9)")
 	summary := fs.Bool("summary", false, "regenerate only the 312-experiment summary")
 	ablation := fs.Bool("ablation", false, "run the COLAB design-choice ablations")
+	delta := fs.Bool("delta", false, "run the paper-vs-reproduction delta table")
 	energy := fs.Bool("energy", false, "run the energy/EDP extension table")
 	trigear := fs.Bool("trigear", false, "run the tri-gear (2B2M2S) policy extension table")
 	oppsweep := fs.Bool("oppsweep", false, "run the COLAB frequency-ladder sweep on the 2B2M2S machine")
@@ -82,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tableJob("fig8", r.Figure8),
 		tableJob("fig9", r.Figure9),
 		tableJob("summary", r.Summary),
+		tableJob("delta", func() (*experiment.Table, error) { return r.DeltaTable(ctx) }),
 		tableJob("ablation", r.Ablation),
 		tableJob("energy", r.EnergyTable),
 		tableJob("trigear", r.TriGearTable),
@@ -100,6 +121,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		names = []string{"summary"}
 	case *ablation:
 		names = []string{"ablation"}
+	case *delta:
+		names = []string{"delta"}
 	case *energy:
 		names = []string{"energy"}
 	case *trigear:
@@ -123,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *csvPath != "" {
-		cells, err := r.RunMatrix(workload.Compositions(), cpu.EvaluatedConfigs(),
+		cells, err := r.RunMatrixContext(ctx, workload.Compositions(), cpu.EvaluatedConfigs(),
 			[]string{experiment.SchedWASH, experiment.SchedCOLAB})
 		if err != nil {
 			return fmt.Errorf("csv export: %w", err)
@@ -143,6 +166,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ran := 0
 	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cancelled before %s: %w", n, err)
+		}
 		for _, j := range all {
 			if j.name != n {
 				continue

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunTables(t *testing.T) {
 	var out, errb strings.Builder
-	if err := run([]string{"-tables"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-tables"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
 	}
 	s := out.String()
@@ -23,7 +24,7 @@ func TestRunTriGear(t *testing.T) {
 		t.Skip("tri-gear table is not -short")
 	}
 	var out, errb strings.Builder
-	if err := run([]string{"-trigear"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-trigear"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
 	}
 	s := out.String()
@@ -36,7 +37,16 @@ func TestRunTriGear(t *testing.T) {
 
 func TestRunUnknownFigure(t *testing.T) {
 	var out, errb strings.Builder
-	if err := run([]string{"-fig", "99"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "nothing selected") {
+	if err := run(context.Background(), []string{"-fig", "99"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "nothing selected") {
 		t.Errorf("want nothing-selected error, got %v", err)
+	}
+}
+
+func TestRunDeltaCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	if err := run(ctx, []string{"-delta"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("cancelled -delta must surface the cancellation, got %v", err)
 	}
 }

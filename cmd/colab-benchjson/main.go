@@ -1,12 +1,15 @@
 // Command colab-benchjson converts `go test -bench` text output into a
 // machine-readable JSON document, so CI can publish the benchmark
 // trajectory (ns/op plus the harness's custom metrics such as
-// H_ANTT-vs-linux and R2) as a build artefact.
+// H_ANTT-vs-linux and R2) as a build artefact. It doubles as CI's trend
+// gate: -trend diffs the current report against a previous run's artefact
+// and fails on ns/op regressions beyond -max-regress percent.
 //
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | colab-benchjson -out BENCH_ci.json
 //	colab-benchjson -in bench.txt -out BENCH_ci.json
+//	colab-benchjson -injson BENCH_ci.json -trend previous/BENCH_ci.json -max-regress 10
 package main
 
 import (
@@ -17,8 +20,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+
+	"colab/internal/mathx"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -54,23 +60,44 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("colab-benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "bench output file (default: stdin)")
+	inJSON := fs.String("injson", "", "read an already-converted JSON report instead of bench text")
 	out := fs.String("out", "", "JSON destination (default: stdout)")
+	trend := fs.String("trend", "", "previous report to diff against; regressions fail the run")
+	maxRegress := fs.Float64("max-regress", 10, "ns/op regression tolerance for -trend, in percent")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	src := stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+
+	var rep *Report
+	if *inJSON != "" {
+		var err error
+		if rep, err = loadReport(*inJSON); err != nil {
+			return err
+		}
+	} else {
+		src := stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			src = f
+		}
+		var err error
+		if rep, err = Parse(src); err != nil {
+			return err
+		}
+	}
+
+	if *trend != "" {
+		prev, err := loadReport(*trend)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		src = f
+		return Trend(stdout, prev, rep, *maxRegress)
 	}
-	rep, err := Parse(src)
-	if err != nil {
-		return err
-	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -82,6 +109,91 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	_, err = stdout.Write(data)
 	return err
 }
+
+// loadReport reads a previously written BENCH_ci.json document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s holds no benchmarks", path)
+	}
+	return rep, nil
+}
+
+// Trend diffs cur against prev and writes one line per shared benchmark.
+// Per-benchmark ratios are first divided by their median, cancelling the
+// systematic speed difference between two CI runners (a uniformly slower
+// machine shifts every benchmark alike and must not trip the gate). It
+// errors when any shared benchmark regressed by more than maxRegress
+// percent beyond that median shift; new and removed benchmarks are
+// reported but never fail the gate.
+func Trend(w io.Writer, prev, cur *Report, maxRegress float64) error {
+	prevNs := make(map[string]float64, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		prevNs[b.Name] = b.NsPerOp
+	}
+	var ratios []float64
+	for _, b := range cur.Benchmarks {
+		if old, ok := prevNs[b.Name]; ok && old > 0 {
+			ratios = append(ratios, b.NsPerOp/old)
+		}
+	}
+	// With too few shared benchmarks the median is dominated by the very
+	// regressions it should cancel; fall back to raw ratios there.
+	speedShift := 1.0
+	if len(ratios) >= minSharedForShift {
+		speedShift = mathx.Median(ratios)
+	}
+	if speedShift != 1 {
+		fmt.Fprintf(w, "runner speed shift (median ratio, normalised out): %+.1f%%\n", (speedShift-1)*100)
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	var regressed []string
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		old, ok := prevNs[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW       %-40s %14.0f ns/op\n", b.Name, b.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (b.NsPerOp/old/speedShift - 1) * 100
+		}
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", b.Name, delta))
+		}
+		fmt.Fprintf(w, "%-9s %-40s %14.0f -> %.0f ns/op (%+.1f%% vs median shift)\n", status, b.Name, old, b.NsPerOp, delta)
+	}
+	var removed []string
+	for name := range prevNs {
+		if !seen[name] {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "REMOVED   %s\n", name)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%%: %s",
+			len(regressed), maxRegress, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintf(w, "trend gate passed: no ns/op regression beyond %.1f%%\n", maxRegress)
+	return nil
+}
+
+// minSharedForShift is the fewest shared benchmarks for which the median
+// ratio is treated as runner speed rather than code.
+const minSharedForShift = 5
 
 // Parse reads `go test -bench` output and collects every benchmark line.
 // Non-benchmark lines (headers, PASS/ok, test logs) are skipped; malformed

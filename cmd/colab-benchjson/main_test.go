@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -95,5 +96,99 @@ func TestTrimProcs(t *testing.T) {
 		if got := trimProcs(in); got != want {
 			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func mkReport(ns map[string]float64) *Report {
+	rep := &Report{}
+	var names []string
+	for name := range ns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: ns[name]})
+	}
+	return rep
+}
+
+func TestTrendPassesWithinTolerance(t *testing.T) {
+	prev := mkReport(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200, "BenchmarkGone": 10})
+	cur := mkReport(map[string]float64{"BenchmarkA": 105, "BenchmarkB": 150, "BenchmarkNew": 42})
+	var out bytes.Buffer
+	if err := Trend(&out, prev, cur, 10); err != nil {
+		t.Fatalf("within-tolerance trend failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"trend gate passed", "NEW", "BenchmarkNew", "REMOVED", "BenchmarkGone", "+5.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trend output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTrendFailsOnRegression(t *testing.T) {
+	prev := mkReport(map[string]float64{"BenchmarkA": 100})
+	cur := mkReport(map[string]float64{"BenchmarkA": 125})
+	var out bytes.Buffer
+	err := Trend(&out, prev, cur, 10)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") || !strings.Contains(err.Error(), "+25.0%") {
+		t.Fatalf("25%% regression must fail the gate naming the benchmark, got %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("trend output misses REGRESSED line:\n%s", out.String())
+	}
+}
+
+func TestRunTrendEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns float64) string {
+		path := filepath.Join(dir, name)
+		data, err := json.MarshalIndent(mkReport(map[string]float64{"BenchmarkA": ns}), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	prev := write("prev.json", 100)
+	curOK := write("ok.json", 102)
+	curBad := write("bad.json", 200)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-injson", curOK, "-trend", prev}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("ok trend run failed: %v", err)
+	}
+	if err := run([]string{"-injson", curBad, "-trend", prev}, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Fatal("regressed trend run must fail")
+	}
+	if err := run([]string{"-injson", curBad, "-trend", prev, "-max-regress", "150"}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("loosened tolerance must pass: %v", err)
+	}
+}
+
+func TestTrendNormalisesRunnerSpeedShift(t *testing.T) {
+	// Six benchmarks all ~30% slower (a slower runner) must pass; a seventh
+	// that is 30% slower on top of that must still fail.
+	prev := map[string]float64{}
+	cur := map[string]float64{}
+	for _, name := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkD", "BenchmarkE", "BenchmarkF"} {
+		prev[name] = 1000
+		cur[name] = 1300
+	}
+	var out bytes.Buffer
+	if err := Trend(&out, mkReport(prev), mkReport(cur), 10); err != nil {
+		t.Fatalf("uniform 30%% slowdown must be normalised away: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "runner speed shift") {
+		t.Errorf("normalisation not reported:\n%s", out.String())
+	}
+	prev["BenchmarkG"] = 1000
+	cur["BenchmarkG"] = 1300 * 1.3
+	out.Reset()
+	err := Trend(&out, mkReport(prev), mkReport(cur), 10)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkG") {
+		t.Fatalf("benchmark-specific regression must still fail after normalisation, got %v\n%s", err, out.String())
 	}
 }

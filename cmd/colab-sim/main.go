@@ -1,19 +1,24 @@
 // Command colab-sim runs one workload on one simulated machine under one
 // scheduler and prints per-application timing and machine utilisation.
+// Any policy in the registry — built-in or registered by a library user —
+// is selectable by name.
 //
 // Usage:
 //
 //	colab-sim -workload Sync-2 -config 2B2S -sched colab
+//	colab-sim -workload Sync-2 -config 2B2S -sched colab -score
 //	colab-sim -bench ferret -threads 4 -config 2B2M2S -sched wash
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	colab "colab"
 	"colab/internal/cpu"
 	"colab/internal/experiment"
 	"colab/internal/kernel"
@@ -35,19 +40,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	bench := fs.String("bench", "", "single benchmark name instead of a composition")
 	threads := fs.Int("threads", 4, "thread count for -bench")
 	cfgName := fs.String("config", "2B2S", "hardware config: "+configNames())
-	sched := fs.String("sched", "colab", "scheduler: linux, wash, colab, gts, eas, colab-noscale, ...")
+	sched := fs.String("sched", "colab", "scheduler: "+strings.Join(colab.Policies(), ", "))
 	seed := fs.Uint64("seed", 1, "workload generation seed")
 	littleFirst := fs.Bool("little-first", false, "order little cores before big cores")
 	trace := fs.Bool("trace", false, "print the scheduling event trace to stderr")
+	score := fs.Bool("score", false, "also print auto-baselined H_ANTT/H_STP via the session API (-workload only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg, ok := cpu.ConfigByName(*cfgName)
+	base, ok := cpu.ConfigByName(*cfgName)
 	if !ok {
 		return fmt.Errorf("unknown config %q (want %s)", *cfgName, configNames())
 	}
-	cfg = cfg.Ordered(!*littleFirst)
+	cfg := base.Ordered(!*littleFirst)
+	if *score && (*bench != "" || *wl == "") {
+		return fmt.Errorf("-score needs -workload (single benchmarks have no mix score)")
+	}
 
 	var (
 		w   *task.Workload
@@ -89,6 +98,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	res.WriteSummary(stdout)
+
+	if *score {
+		sres, err := colab.NewExperiment(
+			colab.WithWorkloads(*wl),
+			colab.WithMachine(base),
+			colab.WithPolicies(*sched),
+			colab.WithSeeds(*seed),
+		).Run(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "\nsession score (both core orders, big-only-alone baselines):")
+		if err := sres.WriteTable(stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

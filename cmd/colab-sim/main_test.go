@@ -43,3 +43,35 @@ func TestRunFlagErrors(t *testing.T) {
 		t.Error("want flag parse error for -bogus")
 	}
 }
+
+func TestRunScoreViaSession(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "Comp-1", "-sched", "linux", "-score"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"session score", "H_ANTT", "Comp-1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+	if err := run([]string{"-bench", "radix", "-score"}, &out, &errb); err == nil {
+		t.Error("-score with -bench must error")
+	}
+	if err := run([]string{"-bench", "radix", "-workload", "Comp-1", "-score"}, &out, &errb); err == nil {
+		t.Error("-score with -bench taking precedence over -workload must error, not mislabel")
+	}
+}
+
+func TestRunUnknownSchedListsPolicies(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-workload", "Comp-1", "-sched", "bogus"}, &out, &errb)
+	if err == nil {
+		t.Fatal("unknown scheduler must error")
+	}
+	for _, want := range []string{"bogus", "linux", "colab-dvfs"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-sched error misses %q: %v", want, err)
+		}
+	}
+}

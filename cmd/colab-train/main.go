@@ -2,10 +2,13 @@
 // offline training set (every benchmark single-program on symmetric
 // big-only and little-only machines), selects the six most informative
 // performance counters with PCA and fits the linear speedup model.
+// With -tiers trigear it instead trains one model per upper tier of the
+// tri-gear palette (the predictors colab-dvfs uses).
 //
 // Usage:
 //
 //	colab-train [-cores N] [-seed S] [-k K] [-v]
+//	colab-train -tiers trigear
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"colab/internal/cpu"
 	"colab/internal/perfmodel"
 )
 
@@ -32,8 +36,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 42, "workload generation seed")
 	k := fs.Int("k", perfmodel.NumSelected, "number of counters to select")
 	verbose := fs.Bool("v", false, "print per-sample predictions")
+	tierSet := fs.String("tiers", "", "train per-tier models instead: trigear")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *tierSet != "" {
+		var tiers []cpu.Tier
+		switch *tierSet {
+		case "trigear":
+			tiers = cpu.TriGearTiers()
+		default:
+			return fmt.Errorf("unknown tier palette %q (want trigear)", *tierSet)
+		}
+		tm, err := perfmodel.TrainTiered(tiers, perfmodel.CollectOptions{Cores: *cores, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "== per-tier speedup models (tri-gear extension of Table 2) ==")
+		fmt.Fprint(stdout, tm.Describe())
+		return nil
 	}
 
 	samples, err := perfmodel.CollectSamples(perfmodel.CollectOptions{Cores: *cores, Seed: *seed})

@@ -1,6 +1,7 @@
-// Command colab-workloads prints the workload inventory: Table 3 (benchmark
-// categorisation) and Table 4 (multi-programmed compositions), plus an
-// optional per-benchmark structural dump with per-tier speedups.
+// Command colab-workloads prints the experiment inventory: Table 3
+// (benchmark categorisation), Table 4 (multi-programmed compositions) and
+// the registered scheduling policies, plus an optional per-benchmark
+// structural dump with per-tier speedups.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	colab "colab"
 	"colab/internal/cpu"
 	"colab/internal/experiment"
 	"colab/internal/mathx"
@@ -67,5 +69,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprint(stdout, experiment.Table3())
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, experiment.Table4())
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "== registered scheduling policies ==")
+	fmt.Fprintln(stdout, strings.Join(colab.Policies(), ", "))
 	return nil
 }

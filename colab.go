@@ -20,29 +20,40 @@
 //   - the H_NTT / H_ANTT / H_STP metrics and the full experiment harness
 //     regenerating every figure and table of the paper's evaluation.
 //
-// Quick start:
+// Quick start — the Experiment session API runs whole evaluation sweeps
+// with automatic baseline collection and scoring:
+//
+//	exp := colab.NewExperiment(
+//		colab.WithWorkloads("Sync-2"),
+//		colab.WithMachine(colab.Config2B2S),
+//		colab.WithPolicies("linux", "wash", "colab"),
+//	)
+//	res, _ := exp.Run(context.Background())
+//	res.WriteTable(os.Stdout)
+//
+// Single simulations are available too:
 //
 //	model, _ := colab.TrainSpeedupModel()
 //	w, _ := colab.BuildWorkload("Sync-2", 1)
 //	res, _ := colab.Run(colab.Config2B2S, colab.NewCOLAB(model), w)
 //	res.WriteSummary(os.Stdout)
 //
+// Custom policies register into the process-wide registry
+// (RegisterPolicy) and then work everywhere a policy name is accepted.
 // The cmd/ tools expose the same functionality on the command line and
 // examples/ holds runnable scenarios.
 package colab
 
 import (
+	"context"
 	"fmt"
 
 	"colab/internal/cpu"
 	"colab/internal/kernel"
 	"colab/internal/metrics"
 	"colab/internal/perfmodel"
-	"colab/internal/sched/cfs"
+	"colab/internal/policy"
 	colabsched "colab/internal/sched/colab"
-	"colab/internal/sched/eas"
-	"colab/internal/sched/gts"
-	"colab/internal/sched/wash"
 	"colab/internal/sim"
 	"colab/internal/task"
 	"colab/internal/workload"
@@ -210,17 +221,31 @@ func TrainTieredSpeedupModel(tiers []Tier) (*TieredSpeedupModel, error) {
 // standard tri-gear palette (TriGearTiers).
 func TrainTriGearSpeedupModel() (*TieredSpeedupModel, error) { return perfmodel.DefaultTriGear() }
 
+// mustPolicy builds a built-in policy whose factory cannot fail.
+func mustPolicy(name string, ctx policy.Context) Scheduler {
+	s, err := policy.New(name, ctx)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// predictorContext wraps an optional model into a policy context.
+func predictorContext(model *SpeedupModel) policy.Context {
+	ctx := policy.Context{}
+	if model != nil {
+		ctx.Speedup = model.ThreadPredictor()
+	}
+	return ctx
+}
+
 // NewLinux returns the Linux CFS baseline policy.
-func NewLinux() Scheduler { return cfs.New(cfs.Options{}) }
+func NewLinux() Scheduler { return mustPolicy(policy.Linux, policy.Context{}) }
 
 // NewWASH returns the WASH (CGO 2016) policy driven by the given speedup
 // model; nil model selects a neutral predictor.
 func NewWASH(model *SpeedupModel) Scheduler {
-	o := wash.Options{}
-	if model != nil {
-		o.Speedup = model.ThreadPredictor()
-	}
-	return wash.New(o)
+	return mustPolicy(policy.WASH, predictorContext(model))
 }
 
 // COLABOptions tunes the COLAB policy (zero value = paper configuration).
@@ -229,11 +254,7 @@ type COLABOptions = colabsched.Options
 // NewCOLAB returns the COLAB policy driven by the given speedup model; nil
 // model selects a neutral predictor.
 func NewCOLAB(model *SpeedupModel) Scheduler {
-	o := colabsched.Options{}
-	if model != nil {
-		o.Speedup = model.ThreadPredictor()
-	}
-	return colabsched.New(o)
+	return mustPolicy(policy.COLAB, predictorContext(model))
 }
 
 // NewCOLABWithOptions returns a COLAB policy with explicit options (for
@@ -259,25 +280,35 @@ func NewCOLABDVFS(model *SpeedupModel, tiered *TieredSpeedupModel) Scheduler {
 }
 
 // NewGTS returns the ARM Global Task Scheduling-like policy.
-func NewGTS() Scheduler { return gts.New(gts.Options{}) }
+func NewGTS() Scheduler { return mustPolicy(policy.GTS, policy.Context{}) }
 
 // NewEAS returns the Linux Energy-Aware-Scheduling-like policy (extension:
 // the modern mainline big.LITTLE baseline, post-dating the paper).
-func NewEAS() Scheduler { return eas.New(eas.Options{}) }
+func NewEAS() Scheduler { return mustPolicy(policy.EAS, policy.Context{}) }
 
 // Run simulates workload w on config cfg under the given policy with
-// default kernel costs.
+// default kernel costs. For sweeps (many workloads, machines, policies or
+// seeds) prefer the Experiment session API, which parallelises and scores
+// automatically; Run and its sibling entry points below are the
+// single-shot compatibility surface.
 func Run(cfg Config, s Scheduler, w *Workload) (*Result, error) {
 	return RunWithParams(cfg, s, w, Params{})
 }
 
 // RunWithParams simulates with explicit kernel costs.
 func RunWithParams(cfg Config, s Scheduler, w *Workload, p Params) (*Result, error) {
+	return RunContext(context.Background(), cfg, s, w, p)
+}
+
+// RunContext simulates with explicit kernel costs and cooperative
+// cancellation: the simulated kernel's event loop checks ctx periodically
+// and returns a wrapped ctx.Err() as soon as the context is done.
+func RunContext(ctx context.Context, cfg Config, s Scheduler, w *Workload, p Params) (*Result, error) {
 	m, err := kernel.NewMachine(cfg, s, w, p)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }
 
 // TraceEvent is one timestamped scheduling event (dispatch, migrate, block,

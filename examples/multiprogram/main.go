@@ -1,76 +1,37 @@
-// Multiprogram: computes the paper's actual metrics (H_ANTT, H_STP) for a
-// random-mixed workload on every evaluated machine shape, showing how to
-// build big-only baselines and score a mix with the public API.
+// Multiprogram: one Experiment session sweeps a random-mixed workload
+// across every evaluated machine shape and the three paper schedulers —
+// the session's worker pool parallelises the 12 cells, big-only baselines
+// are collected behind the scenes, and results come back in deterministic
+// order regardless of the worker count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"text/tabwriter"
 
 	"colab"
 )
 
 const workloadIndex = "Rand-7" // fmm + water_spatial + ferret + swaptions
-const seed = 3
-
-// baselineTurnarounds measures each app of the composition alone on an
-// all-big machine of the same size — the H_* baseline of §5.1.
-func baselineTurnarounds(nCores int) []colab.Time {
-	w, err := colab.BuildWorkload(workloadIndex, seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	bases := make([]colab.Time, len(w.Apps))
-	for i := range w.Apps {
-		// Rebuild so every app is fresh, then isolate app i.
-		wi, err := colab.BuildWorkload(workloadIndex, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		alone := &colab.Workload{Name: wi.Apps[i].Name, Apps: []*colab.App{wi.Apps[i]}}
-		res, err := colab.Run(colab.NewConfig(nCores, 0, true), colab.NewLinux(), alone)
-		if err != nil {
-			log.Fatal(err)
-		}
-		bases[i] = res.Apps[0].Turnaround
-	}
-	return bases
-}
 
 func main() {
-	model, err := colab.TrainSpeedupModel()
+	exp := colab.NewExperiment(
+		colab.WithWorkloads(workloadIndex),
+		colab.WithMachines(colab.EvaluatedConfigs()...),
+		colab.WithPolicies(colab.PaperPolicies()...),
+		colab.WithSeeds(3),
+		colab.WithWorkers(4),
+	)
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "config\tsched\tH_ANTT\tH_STP")
-	for _, cfg := range colab.EvaluatedConfigs() {
-		bases := baselineTurnarounds(cfg.NumCores())
-		for _, s := range []struct {
-			name string
-			mk   func() colab.Scheduler
-		}{
-			{"linux", colab.NewLinux},
-			{"wash", func() colab.Scheduler { return colab.NewWASH(model) }},
-			{"colab", func() colab.Scheduler { return colab.NewCOLAB(model) }},
-		} {
-			w, err := colab.BuildWorkload(workloadIndex, seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := colab.Run(cfg, s.mk(), w)
-			if err != nil {
-				log.Fatal(err)
-			}
-			score, err := colab.Score(res, bases)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\n", cfg.Name, s.name, score.HANTT, score.HSTP)
-		}
+	if err := res.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
-	tw.Flush()
 	fmt.Printf("\nworkload %s: H_ANTT lower is better, H_STP higher is better\n", workloadIndex)
+	fmt.Println("(each cell averages the big-first and little-first core orders;")
+	fmt.Println("baselines are the per-app big-only-alone turnarounds of §5.1)")
 }

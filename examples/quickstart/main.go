@@ -1,51 +1,45 @@
-// Quickstart: train the speedup model, run one multi-programmed workload
-// (Table 4's Sync-2: dedup + fluidanimate, 18 threads) on a 2-big-2-little
-// machine under all three paper schedulers, and compare turnaround times.
+// Quickstart: one Experiment session runs Table 4's Sync-2 mix (dedup +
+// fluidanimate, 18 threads) on a 2-big-2-little machine under all three
+// paper schedulers — baselines are collected and cached automatically, and
+// the H_ANTT / H_STP scores come back in one call.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"text/tabwriter"
 
 	"colab"
 )
 
 func main() {
-	model, err := colab.TrainSpeedupModel()
+	exp := colab.NewExperiment(
+		colab.WithWorkloads("Sync-2"),
+		colab.WithMachine(colab.Config2B2S),
+		colab.WithPolicies("linux", "wash", "colab"),
+	)
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("speedup model trained: R2 =", fmt.Sprintf("%.3f", model.R2))
 
-	schedulers := []struct {
-		name string
-		mk   func() colab.Scheduler
-	}{
-		{"linux", colab.NewLinux},
-		{"wash", func() colab.Scheduler { return colab.NewWASH(model) }},
-		{"colab", func() colab.Scheduler { return colab.NewCOLAB(model) }},
+	fmt.Println("raw scores (baseline: each app alone on an all-big machine):")
+	if err := res.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheduler\tdedup\tfluidanimate\tmakespan")
-	for _, s := range schedulers {
-		// Workloads are single-use: rebuild per run with the same seed so
-		// every scheduler sees identical threads.
-		w, err := colab.BuildWorkload("Sync-2", 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := colab.Run(colab.Config2B2S, s.mk(), w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		dedup, _ := res.AppTurnaround("dedup")
-		fluid, _ := res.AppTurnaround("fluidanimate")
-		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\n", s.name, dedup, fluid, res.Makespan())
+	// Normalise to Linux CFS to read the paper's headline directly:
+	// H_ANTT < 1 and H_STP > 1 mean better than Linux.
+	norm, err := res.Normalized("linux")
+	if err != nil {
+		log.Fatal(err)
 	}
-	tw.Flush()
-	fmt.Println("\nCOLAB should finish both applications ahead of Linux CFS,")
-	fmt.Println("with WASH in between — the paper's headline behaviour.")
+	fmt.Println("\nnormalised to linux:")
+	if err := norm.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nCOLAB should beat Linux CFS on both metrics, with WASH in")
+	fmt.Println("between — the paper's headline behaviour.")
 }

@@ -1,0 +1,259 @@
+package colab
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"colab/internal/experiment"
+	"colab/internal/workload"
+)
+
+// Experiment is a composable experiment session: a declarative
+// workloads x machines x policies x seeds sweep that runs over a worker
+// pool with automatic big-only baseline collection, returning auto-scored
+// H_ANTT / H_STP cells. Build one with NewExperiment and functional
+// options, then call Run:
+//
+//	exp := colab.NewExperiment(
+//		colab.WithWorkloads("Sync-2", "Rand-7"),
+//		colab.WithMachines(colab.EvaluatedConfigs()...),
+//		colab.WithPolicies("linux", "wash", "colab"),
+//		colab.WithSeeds(1, 2, 3),
+//		colab.WithWorkers(8),
+//	)
+//	res, err := exp.Run(ctx)
+//
+// Results are deterministic: cells come back in cross-product order (seeds
+// outermost, then workloads, machines, policies innermost) and are
+// byte-identical for any worker count. Cancelling ctx aborts promptly —
+// the simulation kernel itself is context-checked — and surfaces a wrapped
+// ctx.Err().
+type Experiment struct {
+	workloads []string
+	machines  []Config
+	policies  []string
+	seeds     []uint64
+	params    Params
+	workers   int
+	tracer    func(ExperimentTrace)
+	model     *SpeedupModel
+}
+
+// ExperimentOption configures an Experiment session.
+type ExperimentOption func(*Experiment)
+
+// NewExperiment builds a session from options. Defaults: machine
+// Config2B2S, the three paper policies (PaperPolicies), seed 1, default
+// kernel costs, GOMAXPROCS workers. Workloads have no default; Run errors
+// without WithWorkloads.
+func NewExperiment(opts ...ExperimentOption) *Experiment {
+	e := &Experiment{}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// WithWorkloads adds Table 4 composition indexes ("Sync-2", "Rand-7", ...)
+// to the sweep. Repeatable; at least one workload is required.
+func WithWorkloads(indexes ...string) ExperimentOption {
+	return func(e *Experiment) { e.workloads = append(e.workloads, indexes...) }
+}
+
+// WithMachine adds one machine shape to the sweep. Repeatable.
+func WithMachine(cfg Config) ExperimentOption {
+	return func(e *Experiment) { e.machines = append(e.machines, cfg) }
+}
+
+// WithMachines adds machine shapes to the sweep.
+func WithMachines(cfgs ...Config) ExperimentOption {
+	return func(e *Experiment) { e.machines = append(e.machines, cfgs...) }
+}
+
+// WithPolicies adds registry policy names (built-in like "linux", "wash",
+// "colab", "colab-dvfs", or user names from RegisterPolicy). Unknown names
+// surface from Run with the full registered-name list.
+func WithPolicies(names ...string) ExperimentOption {
+	return func(e *Experiment) { e.policies = append(e.policies, names...) }
+}
+
+// WithSeeds adds workload-generation seeds; the sweep runs one full
+// sub-matrix per seed.
+func WithSeeds(seeds ...uint64) ExperimentOption {
+	return func(e *Experiment) { e.seeds = append(e.seeds, seeds...) }
+}
+
+// WithParams sets the kernel cost parameters for every run.
+func WithParams(p Params) ExperimentOption {
+	return func(e *Experiment) { e.params = p }
+}
+
+// WithWorkers bounds run parallelism (0 = GOMAXPROCS). Results do not
+// depend on the worker count.
+func WithWorkers(n int) ExperimentOption {
+	return func(e *Experiment) { e.workers = n }
+}
+
+// ExperimentTrace is one traced scheduling event: the cell it belongs to,
+// the core order of the run that produced it (each cell simulates
+// big-first then little-first, and core IDs mean different tiers in the
+// two layouts), and the event itself.
+type ExperimentTrace struct {
+	Run      ExperimentRun
+	BigFirst bool
+	Event    TraceEvent
+}
+
+// WithTracer streams every scheduling event of every mix run (baseline
+// runs are not traced) to fn. A tracer forces sequential execution so the
+// event stream is deterministic.
+func WithTracer(fn func(ExperimentTrace)) ExperimentOption {
+	return func(e *Experiment) { e.tracer = fn }
+}
+
+// WithSpeedupModel injects a pre-trained speedup model for the AMP-aware
+// policies instead of the lazily trained default.
+func WithSpeedupModel(m *SpeedupModel) ExperimentOption {
+	return func(e *Experiment) { e.model = m }
+}
+
+// ExperimentRun identifies one cell of a session: one (workload, machine,
+// policy, seed) combination, scored over both core orders.
+type ExperimentRun struct {
+	Workload string
+	Machine  string
+	Policy   string
+	Seed     uint64
+}
+
+// ExperimentResult is one scored cell: the auto-baselined H_ANTT / H_STP
+// pair (each app's big-only-alone turnaround is collected and cached
+// automatically; no manual baseline plumbing).
+type ExperimentResult struct {
+	Run   ExperimentRun
+	Score MixScore
+}
+
+// ExperimentResults holds a session's cells in deterministic cross-product
+// order.
+type ExperimentResults struct {
+	Cells []ExperimentResult
+}
+
+// Run executes the sweep and returns one result per cross-product cell.
+func (e *Experiment) Run(ctx context.Context) (*ExperimentResults, error) {
+	if len(e.workloads) == 0 {
+		return nil, fmt.Errorf("colab: experiment has no workloads (use WithWorkloads)")
+	}
+	comps := make([]workload.Composition, 0, len(e.workloads))
+	for _, idx := range e.workloads {
+		comp, ok := workload.CompositionByIndex(idx)
+		if !ok {
+			return nil, fmt.Errorf("colab: unknown workload %q", idx)
+		}
+		comps = append(comps, comp)
+	}
+	machines := e.machines
+	if len(machines) == 0 {
+		machines = []Config{Config2B2S}
+	}
+	policies := e.policies
+	if len(policies) == 0 {
+		policies = PaperPolicies()
+	}
+	seeds := e.seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	b := &experiment.Batch{
+		Workloads: comps,
+		Configs:   machines,
+		Policies:  policies,
+		Seeds:     seeds,
+		Params:    e.params,
+		Workers:   e.workers,
+	}
+	if e.model != nil {
+		b.Speedup = e.model.ThreadPredictor()
+	}
+	if e.tracer != nil {
+		b.Tracer = func(key experiment.BatchKey, bigFirst bool, ev TraceEvent) {
+			e.tracer(ExperimentTrace{Run: runFromKey(key), BigFirst: bigFirst, Event: ev})
+		}
+	}
+	cells, err := b.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExperimentResults{Cells: make([]ExperimentResult, len(cells))}
+	for i, c := range cells {
+		out.Cells[i] = ExperimentResult{Run: runFromKey(c.Key), Score: c.Score}
+	}
+	return out, nil
+}
+
+func runFromKey(k experiment.BatchKey) ExperimentRun {
+	return ExperimentRun{Workload: k.Workload, Machine: k.Config, Policy: k.Policy, Seed: k.Seed}
+}
+
+// Normalized returns a copy of the results with every cell's score divided
+// by the same-(workload, machine, seed) cell of the reference policy
+// (H_ANTT < 1 and H_STP > 1 then mean better than the reference). It
+// errors when a reference cell is missing.
+func (r *ExperimentResults) Normalized(refPolicy string) (*ExperimentResults, error) {
+	type axis struct {
+		workload, machine string
+		seed              uint64
+	}
+	refs := make(map[axis]MixScore)
+	for _, c := range r.Cells {
+		if c.Run.Policy == refPolicy {
+			refs[axis{c.Run.Workload, c.Run.Machine, c.Run.Seed}] = c.Score
+		}
+	}
+	out := &ExperimentResults{Cells: make([]ExperimentResult, len(r.Cells))}
+	for i, c := range r.Cells {
+		ref, ok := refs[axis{c.Run.Workload, c.Run.Machine, c.Run.Seed}]
+		if !ok {
+			return nil, fmt.Errorf("colab: no %q reference cell for %s on %s seed %d",
+				refPolicy, c.Run.Workload, c.Run.Machine, c.Run.Seed)
+		}
+		out.Cells[i] = c
+		out.Cells[i].Score = MixScore{HANTT: c.Score.HANTT / ref.HANTT, HSTP: c.Score.HSTP / ref.HSTP}
+	}
+	return out, nil
+}
+
+// WriteCSV writes the cells as CSV at full float precision. The bytes are
+// deterministic for a given session spec, independent of worker count.
+func (r *ExperimentResults) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "workload,machine,policy,seed,h_antt,h_stp\n"); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		row := strings.Join([]string{
+			c.Run.Workload, c.Run.Machine, c.Run.Policy,
+			strconv.FormatUint(c.Run.Seed, 10), ff(c.Score.HANTT), ff(c.Score.HSTP),
+		}, ",")
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable writes the cells as an aligned human-readable table.
+func (r *ExperimentResults) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tmachine\tpolicy\tseed\tH_ANTT\tH_STP")
+	for _, c := range r.Cells {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.3f\t%.3f\n",
+			c.Run.Workload, c.Run.Machine, c.Run.Policy, c.Run.Seed, c.Score.HANTT, c.Score.HSTP)
+	}
+	return tw.Flush()
+}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,33 +15,31 @@ import (
 	"colab/internal/kernel"
 	"colab/internal/metrics"
 	"colab/internal/perfmodel"
-	"colab/internal/sched/cfs"
-	"colab/internal/sched/colab"
-	"colab/internal/sched/eas"
-	"colab/internal/sched/gts"
-	"colab/internal/sched/wash"
+	"colab/internal/policy"
 	"colab/internal/sim"
 	"colab/internal/task"
 	"colab/internal/workload"
 )
 
-// Scheduler kinds the harness can instantiate.
+// Scheduler kinds the harness can instantiate: aliases of the registry's
+// built-in policy names (internal/policy), kept so existing call sites read
+// naturally. Custom registered policies work everywhere these do.
 const (
-	SchedLinux = "linux"
-	SchedWASH  = "wash"
-	SchedCOLAB = "colab"
-	SchedGTS   = "gts"
-	SchedEAS   = "eas"
+	SchedLinux = policy.Linux
+	SchedWASH  = policy.WASH
+	SchedCOLAB = policy.COLAB
+	SchedGTS   = policy.GTS
+	SchedEAS   = policy.EAS
 	// SchedCOLABDVFS is COLAB with its native DVFS governor and per-tier
 	// trained speedup models (tri-gear extension; identical to SchedCOLAB
 	// on fixed-frequency machines apart from the per-tier predictions).
-	SchedCOLABDVFS = "colab-dvfs"
+	SchedCOLABDVFS = policy.COLABDVFS
 	// Ablation variants of COLAB (DESIGN.md §4).
-	SchedCOLABNoScale = "colab-noscale" // scale-slice fairness off
-	SchedCOLABLocal   = "colab-local"   // biased-global selector off
-	SchedCOLABFlat    = "colab-flat"    // hierarchical allocator off
-	SchedCOLABNoPull  = "colab-nopull"  // big-pulls-little off
-	SchedCOLABOracle  = "colab-oracle"  // ground-truth speedup predictor
+	SchedCOLABNoScale = policy.COLABNoScale // scale-slice fairness off
+	SchedCOLABLocal   = policy.COLABLocal   // biased-global selector off
+	SchedCOLABFlat    = policy.COLABFlat    // hierarchical allocator off
+	SchedCOLABNoPull  = policy.COLABNoPull  // big-pulls-little off
+	SchedCOLABOracle  = policy.COLABOracle  // ground-truth speedup predictor
 )
 
 // PaperSchedulers are the three schedulers of the paper's evaluation.
@@ -61,6 +60,10 @@ type Runner struct {
 	// the lazily trained tri-gear tiered model (perfmodel.DefaultTriGear)
 	// is substituted on first use.
 	TierSpeedup func(*task.Thread, int) float64
+	// TierSpeedupTiers is the palette TierSpeedup was trained for; policies
+	// use it to disable per-tier predictions on machines the model does not
+	// cover instead of mispredicting through wrong tier indices.
+	TierSpeedupTiers []cpu.Tier
 	// Seed drives workload generation. Two core orders of the same seed
 	// form one experiment.
 	Seed uint64
@@ -88,49 +91,15 @@ func NewRunner(seed uint64) (*Runner, error) {
 	}, nil
 }
 
-// NewScheduler instantiates a policy by kind, wiring in the runner's
-// speedup predictor.
+// NewScheduler instantiates a policy by kind through the registry, wiring
+// in the runner's speedup predictors. Unknown kinds error with the full
+// registered-policy list.
 func (r *Runner) NewScheduler(kind string) (kernel.Scheduler, error) {
-	switch kind {
-	case SchedLinux:
-		return cfs.New(cfs.Options{}), nil
-	case SchedWASH:
-		return wash.New(wash.Options{Speedup: r.Speedup}), nil
-	case SchedCOLAB:
-		return colab.New(colab.Options{Speedup: r.Speedup}), nil
-	case SchedGTS:
-		return gts.New(gts.Options{}), nil
-	case SchedEAS:
-		return eas.New(eas.Options{}), nil
-	case SchedCOLABDVFS:
-		o := colab.Options{Speedup: r.Speedup, Governor: true}
-		if r.TierSpeedup != nil {
-			o.TierSpeedup = r.TierSpeedup
-		} else {
-			tm, err := perfmodel.DefaultTriGear()
-			if err != nil {
-				return nil, fmt.Errorf("experiment: training tri-gear tiered model: %w", err)
-			}
-			// The palette lets the policy disable per-tier predictions on
-			// machines the model was not trained for (e.g. the two-tier
-			// paper configs) instead of mispredicting through wrong tier
-			// indices.
-			o.TierSpeedup, o.TierSpeedupTiers = tm.TierPredictor(), tm.Tiers
-		}
-		return colab.New(o), nil
-	case SchedCOLABNoScale:
-		return colab.New(colab.Options{Speedup: r.Speedup, DisableScaleSlice: true}), nil
-	case SchedCOLABLocal:
-		return colab.New(colab.Options{Speedup: r.Speedup, LocalOnlySelector: true}), nil
-	case SchedCOLABFlat:
-		return colab.New(colab.Options{Speedup: r.Speedup, FlatAllocator: true}), nil
-	case SchedCOLABNoPull:
-		return colab.New(colab.Options{Speedup: r.Speedup, DisablePull: true}), nil
-	case SchedCOLABOracle:
-		return colab.New(colab.Options{Speedup: perfmodel.Oracle()}), nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown scheduler kind %q", kind)
-	}
+	return policy.New(kind, policy.Context{
+		Speedup:          r.Speedup,
+		TierSpeedup:      r.TierSpeedup,
+		TierSpeedupTiers: r.TierSpeedupTiers,
+	})
 }
 
 func (r *Runner) workers() int {
@@ -142,6 +111,12 @@ func (r *Runner) workers() int {
 
 // run executes one workload on one machine variant.
 func (r *Runner) run(cfg cpu.Config, kind string, w *task.Workload) (*kernel.Result, error) {
+	return r.runCtx(context.Background(), cfg, kind, w, nil)
+}
+
+// runCtx is run with cooperative cancellation and an optional per-event
+// tracer.
+func (r *Runner) runCtx(ctx context.Context, cfg cpu.Config, kind string, w *task.Workload, tracer func(kernel.TraceEvent)) (*kernel.Result, error) {
 	s, err := r.NewScheduler(kind)
 	if err != nil {
 		return nil, err
@@ -150,7 +125,10 @@ func (r *Runner) run(cfg cpu.Config, kind string, w *task.Workload) (*kernel.Res
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	if tracer != nil {
+		m.SetTracer(tracer)
+	}
+	return m.RunContext(ctx)
 }
 
 // ---------------------------------------------------------------------------
@@ -173,6 +151,10 @@ func appAlone(comp workload.Composition, appIdx int, seed uint64) (*task.Workloa
 // baselineBig returns (cached) the turnaround of composition app appIdx
 // running alone on an all-big machine with the same core count as cfg.
 func (r *Runner) baselineBig(comp workload.Composition, appIdx int, cfg cpu.Config) (sim.Time, error) {
+	return r.baselineBigCtx(context.Background(), comp, appIdx, cfg)
+}
+
+func (r *Runner) baselineBigCtx(ctx context.Context, comp workload.Composition, appIdx int, cfg cpu.Config) (sim.Time, error) {
 	n := cfg.NumCores()
 	key := fmt.Sprintf("%s|%d|%d|%d", comp.Index, appIdx, n, r.Seed)
 	r.mu.Lock()
@@ -185,7 +167,7 @@ func (r *Runner) baselineBig(comp workload.Composition, appIdx int, cfg cpu.Conf
 	if err != nil {
 		return 0, err
 	}
-	res, err := r.run(cpu.NewSymmetric(cpu.Big, n), SchedLinux, w)
+	res, err := r.runCtx(ctx, cpu.NewSymmetric(cpu.Big, n), SchedLinux, w, nil)
 	if err != nil {
 		return 0, fmt.Errorf("experiment: baseline %s app %d: %w", comp.Index, appIdx, err)
 	}
@@ -202,17 +184,35 @@ func (r *Runner) baselineBig(comp workload.Composition, appIdx int, cfg cpu.Conf
 // MixScore returns the H_ANTT / H_STP of one (workload, config, scheduler)
 // cell, averaged over the two core orders, memoised.
 func (r *Runner) MixScore(comp workload.Composition, cfg cpu.Config, kind string) (metrics.MixScore, error) {
-	key := fmt.Sprintf("%s|%s|%s|%d", comp.Index, cfg.Name, kind, r.Seed)
-	r.mu.Lock()
-	if v, ok := r.mixes[key]; ok {
+	return r.mixScore(context.Background(), comp, cfg, kind, nil)
+}
+
+// configKey fingerprints a machine for the memo cache. Config.Name alone
+// is not identity: user-built palettes can generate the same name for
+// materially different machines (other frequencies, ladders, tier
+// parameters), which must not share cached scores.
+func configKey(cfg cpu.Config) string {
+	return fmt.Sprintf("%s#%v#%v", cfg.Name, cfg.Kinds, cfg.Tiers())
+}
+
+// mixScore computes (or returns memoised) one cell. A non-nil tracer
+// receives every scheduling event of the two mix runs (baseline runs are
+// not traced) and disables memoisation for the cell, so the events always
+// correspond to a real execution.
+func (r *Runner) mixScore(ctx context.Context, comp workload.Composition, cfg cpu.Config, kind string, tracer func(bigFirst bool, ev kernel.TraceEvent)) (metrics.MixScore, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d", comp.Index, configKey(cfg), kind, r.Seed)
+	if tracer == nil {
+		r.mu.Lock()
+		if v, ok := r.mixes[key]; ok {
+			r.mu.Unlock()
+			return v, nil
+		}
 		r.mu.Unlock()
-		return v, nil
 	}
-	r.mu.Unlock()
 
 	bases := make([]sim.Time, len(comp.Parts))
 	for i := range comp.Parts {
-		b, err := r.baselineBig(comp, i, cfg)
+		b, err := r.baselineBigCtx(ctx, comp, i, cfg)
 		if err != nil {
 			return metrics.MixScore{}, err
 		}
@@ -226,7 +226,12 @@ func (r *Runner) MixScore(comp workload.Composition, cfg cpu.Config, kind string
 		if err != nil {
 			return metrics.MixScore{}, err
 		}
-		res, err := r.run(variant, kind, w)
+		var tr func(kernel.TraceEvent)
+		if tracer != nil {
+			bf := bigFirst
+			tr = func(ev kernel.TraceEvent) { tracer(bf, ev) }
+		}
+		res, err := r.runCtx(ctx, variant, kind, w, tr)
 		if err != nil {
 			return metrics.MixScore{}, fmt.Errorf("experiment: %s on %s under %s: %w", comp.Index, variant.Name, kind, err)
 		}
@@ -237,9 +242,11 @@ func (r *Runner) MixScore(comp workload.Composition, cfg cpu.Config, kind string
 		total.HANTT += score.HANTT / float64(len(orders))
 		total.HSTP += score.HSTP / float64(len(orders))
 	}
-	r.mu.Lock()
-	r.mixes[key] = total
-	r.mu.Unlock()
+	if tracer == nil {
+		r.mu.Lock()
+		r.mixes[key] = total
+		r.mu.Unlock()
+	}
 	return total, nil
 }
 
@@ -257,42 +264,37 @@ type Cell struct {
 // parallel and returns one Cell per combination. Linux cells carry
 // Norm = {1, 1}.
 func (r *Runner) RunMatrix(comps []workload.Composition, cfgs []cpu.Config, kinds []string) ([]Cell, error) {
-	type job struct {
-		comp workload.Composition
-		cfg  cpu.Config
-		kind string
-	}
-	var jobs []job
-	for _, c := range comps {
-		for _, cfg := range cfgs {
-			// Linux first so the normalisation reference is always present.
-			seen := map[string]bool{}
-			for _, k := range append([]string{SchedLinux}, kinds...) {
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				jobs = append(jobs, job{c, cfg, k})
-			}
+	return r.RunMatrixContext(context.Background(), comps, cfgs, kinds)
+}
+
+// RunMatrixContext is RunMatrix with cooperative cancellation. The fan-out
+// goes through the Batch session engine (sharing this runner's memo
+// caches); the normalised Cell assembly then reads the warmed cache.
+func (r *Runner) RunMatrixContext(ctx context.Context, comps []workload.Composition, cfgs []cpu.Config, kinds []string) ([]Cell, error) {
+	// Linux is always included: it is the normalisation reference.
+	seen := map[string]bool{}
+	var all []string
+	for _, k := range append([]string{SchedLinux}, kinds...) {
+		if seen[k] {
+			continue
 		}
+		seen[k] = true
+		all = append(all, k)
 	}
-	sem := make(chan struct{}, r.workers())
-	var wg sync.WaitGroup
-	errs := make([]error, len(jobs))
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			_, errs[i] = r.MixScore(j.comp, j.cfg, j.kind)
-		}(i, j)
+	b := &Batch{
+		Workloads:        comps,
+		Configs:          cfgs,
+		Policies:         all,
+		Seeds:            []uint64{r.Seed},
+		Params:           r.Params,
+		Workers:          r.workers(),
+		Speedup:          r.Speedup,
+		TierSpeedup:      r.TierSpeedup,
+		TierSpeedupTiers: r.TierSpeedupTiers,
+		runners:          map[uint64]*Runner{r.Seed: r},
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if _, err := b.Run(ctx); err != nil {
+		return nil, err
 	}
 	var cells []Cell
 	for _, c := range comps {

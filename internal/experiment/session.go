@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/metrics"
+	"colab/internal/perfmodel"
+	"colab/internal/policy"
+	"colab/internal/sim"
+	"colab/internal/task"
+	"colab/internal/workload"
+)
+
+// BatchKey identifies one cell of a batch: one (workload, config, policy,
+// seed) combination, scored over both core orders.
+type BatchKey struct {
+	Workload string
+	Config   string
+	Policy   string
+	Seed     uint64
+}
+
+// BatchCell is one scored cell. Score is the auto-baselined H_ANTT / H_STP
+// pair (big-only-alone baselines, averaged over big-first and little-first
+// core orders — exactly what Runner.MixScore computes).
+type BatchCell struct {
+	Key   BatchKey
+	Score metrics.MixScore
+}
+
+// Batch is the context-aware batch executor underneath colab.Experiment:
+// it fans the Workloads x Configs x Policies x Seeds cross-product out over
+// a worker pool, collecting and caching big-only baselines automatically.
+//
+// Results are deterministic and independent of Workers: cells come back in
+// cross-product order (seeds outermost, then workloads, configs, policies
+// innermost) and every cell's value is computed by the same memoised
+// single-cell path the legacy Runner uses.
+type Batch struct {
+	// Workloads are the Table 4 compositions to run (at least one).
+	Workloads []workload.Composition
+	// Configs are the machine shapes to run on (at least one).
+	Configs []cpu.Config
+	// Policies are registry names (built-in or user-registered).
+	Policies []string
+	// Seeds drive workload generation; one full sub-matrix per seed.
+	Seeds []uint64
+	// Params forwards kernel costs.
+	Params kernel.Params
+	// Workers bounds run parallelism (0 = GOMAXPROCS). A Tracer forces
+	// sequential execution regardless, so the event stream is deterministic.
+	Workers int
+	// Speedup is the predictor handed to AMP-aware policies. When nil, the
+	// standard trained model (perfmodel.Default) is substituted.
+	Speedup func(*task.Thread) float64
+	// TierSpeedup optionally overrides the per-tier predictor used by
+	// colab-dvfs (nil = lazily trained tri-gear model).
+	TierSpeedup func(*task.Thread, int) float64
+	// TierSpeedupTiers is the palette TierSpeedup was trained for (nil
+	// applies TierSpeedup on every machine).
+	TierSpeedupTiers []cpu.Tier
+	// Tracer, when set, receives every scheduling event of every mix run
+	// (baseline runs are not traced), tagged with the cell it belongs to
+	// and the core order of the run (each cell simulates big-first then
+	// little-first; core IDs mean different tiers in the two layouts).
+	Tracer func(key BatchKey, bigFirst bool, ev kernel.TraceEvent)
+
+	// runners pre-seeds per-seed runners so callers (Runner.RunMatrix) can
+	// share memo caches with the batch.
+	runners map[uint64]*Runner
+}
+
+func (b *Batch) validate() error {
+	if len(b.Workloads) == 0 {
+		return fmt.Errorf("experiment: batch has no workloads")
+	}
+	if len(b.Configs) == 0 {
+		return fmt.Errorf("experiment: batch has no machine configs")
+	}
+	if len(b.Policies) == 0 {
+		return fmt.Errorf("experiment: batch has no policies")
+	}
+	if len(b.Seeds) == 0 {
+		return fmt.Errorf("experiment: batch has no seeds")
+	}
+	for _, p := range b.Policies {
+		if err := policy.Check(p); err != nil {
+			return err
+		}
+	}
+	seen := make(map[string]bool, len(b.Configs))
+	for _, cfg := range b.Configs {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		// Cells are identified by Config.Name; two machines sharing a name
+		// would be indistinguishable in results and normalisation.
+		if seen[cfg.Name] {
+			return fmt.Errorf("experiment: duplicate machine name %q in batch (set distinct Config.Name values)", cfg.Name)
+		}
+		seen[cfg.Name] = true
+	}
+	return nil
+}
+
+// anyNeedsSpeedup reports whether any policy in the sweep consumes the
+// trained speedup predictor; pure-baseline sweeps skip training entirely.
+func anyNeedsSpeedup(policies []string) bool {
+	for _, p := range policies {
+		if policy.NeedsSpeedup(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// runnerFor returns (building if needed) the memoising runner for one seed.
+func (b *Batch) runnerFor(seed uint64, speedup func(*task.Thread) float64) *Runner {
+	if r, ok := b.runners[seed]; ok {
+		return r
+	}
+	r := &Runner{
+		Speedup:          speedup,
+		TierSpeedup:      b.TierSpeedup,
+		TierSpeedupTiers: b.TierSpeedupTiers,
+		Seed:             seed,
+		Params:           b.Params,
+		baselines:        make(map[string]sim.Time),
+		mixes:            make(map[string]metrics.MixScore),
+	}
+	if b.runners == nil {
+		b.runners = make(map[uint64]*Runner)
+	}
+	b.runners[seed] = r
+	return r
+}
+
+// Run executes the batch. It returns one cell per cross-product entry, in
+// deterministic order, or the first error. Cancelling ctx aborts promptly
+// (the kernel run loop itself is context-checked) and surfaces a wrapped
+// ctx.Err().
+func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: batch cancelled: %w", err)
+	}
+	speedup := b.Speedup
+	if speedup == nil && anyNeedsSpeedup(b.Policies) {
+		model, err := perfmodel.Default()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: training default speedup model: %w", err)
+		}
+		speedup = model.ThreadPredictor()
+	}
+
+	type job struct {
+		rn   *Runner
+		comp workload.Composition
+		cfg  cpu.Config
+		key  BatchKey
+	}
+	var jobs []job
+	for _, seed := range b.Seeds {
+		rn := b.runnerFor(seed, speedup)
+		for _, comp := range b.Workloads {
+			for _, cfg := range b.Configs {
+				for _, kind := range b.Policies {
+					jobs = append(jobs, job{rn, comp, cfg,
+						BatchKey{Workload: comp.Index, Config: cfg.Name, Policy: kind, Seed: seed}})
+				}
+			}
+		}
+	}
+
+	workers := b.Workers
+	if b.Tracer != nil {
+		workers = 1 // keep the traced event stream deterministic
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]BatchCell, len(jobs))
+	var (
+		next     int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(jobs) || runCtx.Err() != nil {
+					return
+				}
+				j := jobs[i]
+				var tracer func(bool, kernel.TraceEvent)
+				if b.Tracer != nil {
+					tracer = func(bigFirst bool, ev kernel.TraceEvent) { b.Tracer(j.key, bigFirst, ev) }
+				}
+				score, err := j.rn.mixScore(runCtx, j.comp, j.cfg, j.key.Policy, tracer)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = BatchCell{Key: j.key, Score: score}
+			}
+		}()
+	}
+	wg.Wait()
+	// The parent context's cancellation wins over any per-cell error it
+	// caused (aborted cells surface as kernel cancellation errors).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: batch cancelled: %w", err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

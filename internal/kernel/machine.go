@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 
 	"colab/internal/cpu"
@@ -157,6 +158,20 @@ func (m *Machine) KickIdle() {
 // completion and returns the result. It fails when the event budget is
 // exhausted or the system deadlocks (threads alive with no pending events).
 func (m *Machine) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// ctxCheckInterval is how many simulation events fire between context
+// checks in RunContext: large enough that the check is free against the
+// per-event work, small enough that cancellation lands within microseconds
+// of wall time.
+const ctxCheckInterval = 16384
+
+// RunContext is Run with cooperative cancellation: the event loop checks
+// ctx every ctxCheckInterval events and returns a wrapped ctx.Err() as soon
+// as the context is done. The simulation itself is unaffected by the
+// chunked loop — event order, timestamps and results are identical to Run.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	m.sched.Start(m)
 	for _, a := range m.workload.Apps {
 		a.StartTime = 0
@@ -178,7 +193,23 @@ func (m *Machine) Run() (*Result, error) {
 	for _, c := range m.cores {
 		m.resched(c)
 	}
-	m.eng.Run(m.params.MaxEvents)
+	remaining := m.params.MaxEvents
+	for !m.done && remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kernel: %q under %s cancelled at %v: %w",
+				m.workload.Name, m.sched.Name(), m.eng.Now(), err)
+		}
+		chunk := uint64(ctxCheckInterval)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		fired := m.eng.Run(chunk)
+		remaining -= fired
+		if fired < chunk {
+			// Queue drained (or Stop): no further events will fire.
+			break
+		}
+	}
 	if !m.done {
 		if m.eng.Pending() == 0 {
 			return nil, fmt.Errorf("kernel: deadlock in %q under %s: %d threads alive with no pending events",

@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"fmt"
+
+	"colab/internal/kernel"
+	"colab/internal/perfmodel"
+	"colab/internal/sched/cfs"
+	"colab/internal/sched/colab"
+	"colab/internal/sched/eas"
+	"colab/internal/sched/gts"
+	"colab/internal/sched/wash"
+)
+
+// Built-in policy names. These are the only names the repo itself
+// hard-codes; everything else (flag help, unknown-name errors, experiment
+// kind lists) derives from the registry.
+const (
+	Linux = "linux"
+	WASH  = "wash"
+	COLAB = "colab"
+	GTS   = "gts"
+	EAS   = "eas"
+	// COLABDVFS is COLAB with its native DVFS governor and per-tier trained
+	// speedup models (tri-gear extension; identical to COLAB on
+	// fixed-frequency machines apart from the per-tier predictions).
+	COLABDVFS = "colab-dvfs"
+	// Ablation variants of COLAB (DESIGN.md §4).
+	COLABNoScale = "colab-noscale" // scale-slice fairness off
+	COLABLocal   = "colab-local"   // biased-global selector off
+	COLABFlat    = "colab-flat"    // hierarchical allocator off
+	COLABNoPull  = "colab-nopull"  // big-pulls-little off
+	COLABOracle  = "colab-oracle"  // ground-truth speedup predictor
+)
+
+// NeedsSpeedup reports whether the named policy's factory consumes
+// Context.Speedup, letting batch drivers skip training the model for
+// sweeps of speedup-blind policies. Unknown (user-registered) policies
+// conservatively report true.
+func NeedsSpeedup(name string) bool {
+	switch name {
+	case Linux, GTS, EAS, COLABOracle:
+		return false
+	}
+	return true
+}
+
+func init() {
+	MustRegister(Linux, func(Context) (kernel.Scheduler, error) {
+		return cfs.New(cfs.Options{}), nil
+	})
+	MustRegister(WASH, func(ctx Context) (kernel.Scheduler, error) {
+		return wash.New(wash.Options{Speedup: ctx.Speedup}), nil
+	})
+	MustRegister(COLAB, func(ctx Context) (kernel.Scheduler, error) {
+		return colab.New(colab.Options{Speedup: ctx.Speedup}), nil
+	})
+	MustRegister(GTS, func(Context) (kernel.Scheduler, error) {
+		return gts.New(gts.Options{}), nil
+	})
+	MustRegister(EAS, func(Context) (kernel.Scheduler, error) {
+		return eas.New(eas.Options{}), nil
+	})
+	MustRegister(COLABDVFS, func(ctx Context) (kernel.Scheduler, error) {
+		o := colab.Options{Speedup: ctx.Speedup, Governor: true}
+		if ctx.TierSpeedup != nil {
+			o.TierSpeedup, o.TierSpeedupTiers = ctx.TierSpeedup, ctx.TierSpeedupTiers
+		} else {
+			tm, err := perfmodel.DefaultTriGear()
+			if err != nil {
+				return nil, fmt.Errorf("training tri-gear tiered model: %w", err)
+			}
+			// The palette lets the policy disable per-tier predictions on
+			// machines the model was not trained for (e.g. the two-tier
+			// paper configs) instead of mispredicting through wrong tier
+			// indices.
+			o.TierSpeedup, o.TierSpeedupTiers = tm.TierPredictor(), tm.Tiers
+		}
+		return colab.New(o), nil
+	})
+	MustRegister(COLABNoScale, func(ctx Context) (kernel.Scheduler, error) {
+		return colab.New(colab.Options{Speedup: ctx.Speedup, DisableScaleSlice: true}), nil
+	})
+	MustRegister(COLABLocal, func(ctx Context) (kernel.Scheduler, error) {
+		return colab.New(colab.Options{Speedup: ctx.Speedup, LocalOnlySelector: true}), nil
+	})
+	MustRegister(COLABFlat, func(ctx Context) (kernel.Scheduler, error) {
+		return colab.New(colab.Options{Speedup: ctx.Speedup, FlatAllocator: true}), nil
+	})
+	MustRegister(COLABNoPull, func(ctx Context) (kernel.Scheduler, error) {
+		return colab.New(colab.Options{Speedup: ctx.Speedup, DisablePull: true}), nil
+	})
+	MustRegister(COLABOracle, func(Context) (kernel.Scheduler, error) {
+		return colab.New(colab.Options{Speedup: perfmodel.Oracle()}), nil
+	})
+}

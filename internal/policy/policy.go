@@ -1,0 +1,115 @@
+// Package policy is the process-wide scheduler registry: every scheduling
+// policy — the five built-in ones, their ablation variants, and any policy a
+// library user registers — is reachable by a string name through one
+// factory table. The public API (colab.RegisterPolicy / colab.Policies /
+// colab.NewPolicy), the experiment harness and the cmd/ tools all consume
+// this registry, so the set of known policy names lives in exactly one
+// place.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/task"
+)
+
+// Context carries the shared inputs a policy factory may wire into the
+// scheduler it builds. Every field is optional: a zero Context selects each
+// policy's neutral defaults (e.g. WASH and COLAB fall back to a neutral
+// speedup predictor).
+type Context struct {
+	// Speedup predicts a thread's big-vs-little speedup (the trained
+	// Table 2 model's ThreadPredictor).
+	Speedup func(*task.Thread) float64
+	// TierSpeedup predicts a thread's speedup on an arbitrary tier (the
+	// tri-gear tiered model's TierPredictor). Policies that take per-tier
+	// predictions (colab-dvfs) prefer it over interpolating Speedup.
+	TierSpeedup func(*task.Thread, int) float64
+	// TierSpeedupTiers is the palette TierSpeedup was trained for; policies
+	// use it to disable per-tier predictions on foreign machines.
+	TierSpeedupTiers []cpu.Tier
+}
+
+// Factory builds one scheduler instance from the shared context. Factories
+// must return a fresh instance per call: scheduler state is per-machine.
+type Factory func(Context) (kernel.Scheduler, error)
+
+var (
+	mu        sync.RWMutex
+	factories = make(map[string]Factory)
+)
+
+// Register adds a policy under name. It errors on an empty name, a nil
+// factory, or a name collision — the built-in names below are taken.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("policy: empty policy name")
+	}
+	if f == nil {
+		return fmt.Errorf("policy: nil factory for %q", name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[name]; dup {
+		return fmt.Errorf("policy: %q already registered", name)
+	}
+	factories[name] = f
+	return nil
+}
+
+// MustRegister is Register for init-time use; it panics on error.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns every registered policy name in sorted order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Check reports whether name is registered; an unknown name errors with
+// the full registered-name list, so callers surface the valid choices for
+// free.
+func Check(name string) error {
+	mu.RLock()
+	_, ok := factories[name]
+	mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("policy: unknown policy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return nil
+}
+
+// New instantiates the named policy. Unknown names error like Check.
+func New(name string, ctx Context) (kernel.Scheduler, error) {
+	mu.RLock()
+	f, ok := factories[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	s, err := f(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("policy: building %q: %w", name, err)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("policy: factory for %q returned nil", name)
+	}
+	return s, nil
+}

@@ -1,0 +1,52 @@
+package colab
+
+import (
+	"colab/internal/experiment"
+	"colab/internal/policy"
+)
+
+// PolicyContext carries the shared inputs a policy factory may wire into
+// the scheduler it builds: the trained speedup predictor and (for policies
+// that take per-tier predictions) the tiered predictor with its palette.
+// Every field is optional; a zero PolicyContext selects each policy's
+// neutral defaults.
+type PolicyContext = policy.Context
+
+// PolicyFactory builds one scheduler instance from the shared context.
+// Factories must return a fresh instance per call: scheduler state is
+// per-machine.
+type PolicyFactory = policy.Factory
+
+// Built-in policy names, usable with WithPolicies and NewPolicy. The
+// ablation variants (colab-noscale, colab-local, colab-flat, colab-nopull,
+// colab-oracle) are also registered; Policies() lists everything.
+const (
+	PolicyLinux     = policy.Linux
+	PolicyWASH      = policy.WASH
+	PolicyCOLAB     = policy.COLAB
+	PolicyGTS       = policy.GTS
+	PolicyEAS       = policy.EAS
+	PolicyCOLABDVFS = policy.COLABDVFS
+)
+
+// RegisterPolicy adds a user policy to the process-wide registry under
+// name, making it usable everywhere a policy name is accepted: Experiment
+// sessions (WithPolicies), NewPolicy, the experiment harness and the cmd/
+// tools. It errors on an empty name, a nil factory, or a name collision.
+func RegisterPolicy(name string, f PolicyFactory) error { return policy.Register(name, f) }
+
+// MustRegisterPolicy is RegisterPolicy for init-time use; it panics on
+// error.
+func MustRegisterPolicy(name string, f PolicyFactory) { policy.MustRegister(name, f) }
+
+// Policies returns every registered policy name (built-in and user) in
+// sorted order.
+func Policies() []string { return policy.Names() }
+
+// NewPolicy instantiates a registered policy by name. Unknown names error
+// with the full registered-name list.
+func NewPolicy(name string, ctx PolicyContext) (Scheduler, error) { return policy.New(name, ctx) }
+
+// PaperPolicies returns the three schedulers of the paper's evaluation
+// (linux, wash, colab) — the default policy set of an Experiment.
+func PaperPolicies() []string { return experiment.PaperSchedulers() }
