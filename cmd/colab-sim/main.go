@@ -1,12 +1,15 @@
 // Command colab-sim runs one workload on one simulated machine under one
 // scheduler and prints per-application timing and machine utilisation.
 // Any policy in the registry — built-in or registered by a library user —
-// is selectable by name.
+// is selectable by name, as is any pipeline composition in the stage
+// grammar ("<name>.<slot>+...", slots labeler/allocator/selector/governor;
+// colab-workloads lists the stage vocabulary).
 //
 // Usage:
 //
 //	colab-sim -workload Sync-2 -config 2B2S -sched colab
 //	colab-sim -workload Sync-2 -config 2B2S -sched colab -score
+//	colab-sim -workload Sync-2 -sched colab.labeler+wash.selector
 //	colab-sim -bench ferret -threads 4 -config 2B2M2S -sched wash
 package main
 
@@ -40,7 +43,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	bench := fs.String("bench", "", "single benchmark name instead of a composition")
 	threads := fs.Int("threads", 4, "thread count for -bench")
 	cfgName := fs.String("config", "2B2S", "hardware config: "+configNames())
-	sched := fs.String("sched", "colab", "scheduler: "+strings.Join(colab.Policies(), ", "))
+	sched := fs.String("sched", "colab", "scheduler: "+strings.Join(colab.Policies(), ", ")+
+		", or a stage composition like colab.labeler+wash.selector")
 	seed := fs.Uint64("seed", 1, "workload generation seed")
 	littleFirst := fs.Bool("little-first", false, "order little cores before big cores")
 	trace := fs.Bool("trace", false, "print the scheduling event trace to stderr")

@@ -75,3 +75,24 @@ func TestRunUnknownSchedListsPolicies(t *testing.T) {
 		}
 	}
 }
+
+// A stage composition runs end-to-end through -sched, and unknown stages
+// inside one error with the slot's registered names.
+func TestRunStageComposition(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "Comp-1", "-sched", "colab.labeler+wash.selector"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "scheduler colab.labeler+wash.selector") {
+		t.Errorf("summary misses the composition name:\n%s", out.String())
+	}
+	err := run([]string{"-workload", "Comp-1", "-sched", "colab.labeler+bogus.selector"}, &out, &errb)
+	if err == nil {
+		t.Fatal("unknown stage must error")
+	}
+	for _, want := range []string{"bogus", "registered selectors", "colab"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-stage error misses %q: %v", want, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Command colab-workloads prints the experiment inventory: Table 3
-// (benchmark categorisation), Table 4 (multi-programmed compositions) and
-// the registered scheduling policies, plus an optional per-benchmark
+// (benchmark categorisation), Table 4 (multi-programmed compositions), the
+// registered scheduling policies and the registered pipeline stages per
+// slot (the composition vocabulary), plus an optional per-benchmark
 // structural dump with per-tier speedups.
 //
 // Usage:
@@ -72,5 +73,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout)
 	fmt.Fprintln(stdout, "== registered scheduling policies ==")
 	fmt.Fprintln(stdout, strings.Join(colab.Policies(), ", "))
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "== registered pipeline stages (compose with \"<name>.<slot>+...\") ==")
+	for _, slot := range colab.StageSlots() {
+		fmt.Fprintf(stdout, "%-10s %s\n", slot, strings.Join(colab.StageNames(slot), ", "))
+	}
+	fmt.Fprintln(stdout, "e.g. -sched colab.labeler+wash.selector+colab.governor; omitted allocator/selector default to linux")
 	return nil
 }

@@ -40,3 +40,22 @@ func TestRunErrors(t *testing.T) {
 		t.Error("want error for unknown tier palette")
 	}
 }
+
+// The inventory surfaces the pipeline-composition vocabulary: every slot
+// with its registered stages.
+func TestRunListsPipelineStages(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(nil, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"registered pipeline stages",
+		"labeler", "allocator", "selector", "governor",
+		"colab.labeler+wash.selector",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Hybrid: composes cross-policy scheduler pipelines through the stage
+// grammar and a hand-built custom stage. COLAB's multi-factor labeler is
+// first paired with WASH's (CFS) selector — expressing exactly the
+// cross-design question the paper's ablation argues about: how much of
+// COLAB's win survives when only the labeler cooperates and selection
+// stays Linux? — and then with a user-defined selector registered into the
+// same namespace.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"colab"
+)
+
+// longestQueueSelector is a deliberately simple custom selector stage:
+// FIFO from the local shared run queue, else steal the head of the longest
+// other queue. It shows the Selector surface; the CFS and COLAB selectors
+// are the serious implementations.
+type longestQueueSelector struct {
+	pc *colab.PipelineContext
+}
+
+func (s *longestQueueSelector) Name() string                    { return "longestq.selector" }
+func (s *longestQueueSelector) Start(pc *colab.PipelineContext) { s.pc = pc }
+func (s *longestQueueSelector) PickNext(c *colab.Core) *colab.Thread {
+	q := s.pc.Queues()
+	pop := func(core int) *colab.Thread {
+		var first *colab.Thread
+		q.Each(core, func(t *colab.Thread) {
+			if first == nil && t.AllowedOn(c.ID) {
+				first = t
+			}
+		})
+		if first != nil {
+			q.Remove(first)
+		}
+		return first
+	}
+	if t := pop(c.ID); t != nil {
+		return t
+	}
+	longest := -1
+	for i := 0; i < q.NumQueues(); i++ {
+		if i != c.ID && q.Len(i) > 0 && (longest < 0 || q.Len(i) > q.Len(longest)) {
+			longest = i
+		}
+	}
+	if longest < 0 {
+		return nil
+	}
+	return pop(longest)
+}
+func (s *longestQueueSelector) TimeSlice(c *colab.Core, t *colab.Thread) colab.Time {
+	return 2 * colab.Millisecond
+}
+func (s *longestQueueSelector) VRuntimeScale(c *colab.Core, t *colab.Thread) float64 { return 1 }
+func (s *longestQueueSelector) WakeupPreempt(c *colab.Core, t *colab.Thread) bool    { return false }
+
+func main() {
+	// A custom stage registers once and becomes addressable in the grammar
+	// next to the built-in stages.
+	colab.MustRegisterStage(colab.SlotSelector, "longestq",
+		func(colab.PolicyContext) (colab.PipelineStage, error) {
+			return &longestQueueSelector{}, nil
+		})
+
+	for _, slot := range colab.StageSlots() {
+		fmt.Printf("%-10s %v\n", slot, colab.StageNames(slot))
+	}
+	fmt.Println()
+
+	res, err := colab.NewExperiment(
+		colab.WithWorkloads("Sync-2"),
+		colab.WithMachine(colab.Config2B2S),
+		colab.WithPolicies(
+			"linux",
+			"wash",
+			"colab",
+			// COLAB's labeler + allocator feeding WASH's (CFS) selector: the
+			// coordinated selection is removed, everything else kept.
+			"colab.labeler+colab.allocator+wash.selector",
+			// The custom selector under the full COLAB front end.
+			"colab.labeler+colab.allocator+longestq.selector",
+		),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := res.Normalized("linux")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := norm.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nscores are normalised to Linux (H_ANTT < 1 is better). Swapping")
+	fmt.Println("a single stage moves the scores materially in either direction —")
+	fmt.Println("replacing COLAB's criticality-ranked selector with the CFS one")
+	fmt.Println("gives back most of COLAB's edge on this sync-heavy mix. One cell")
+	fmt.Println("proves nothing beyond the point: stage combinations are real,")
+	fmt.Println("runnable experiments; colab-bench -ablation sweeps them properly.")
+}

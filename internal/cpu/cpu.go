@@ -197,6 +197,20 @@ var (
 // FreqRatio is the big/little clock ratio (2.0 GHz / 1.2 GHz).
 const FreqRatio = 2000.0 / 1200.0
 
+// MaxCores is the largest supported machine: thread affinity masks are
+// uint64 bitmaps (task.AffinityAll), so core indices beyond 63 would
+// silently wrap and corrupt every mask computation. Config.Validate and
+// the config constructors enforce the bound.
+const MaxCores = 64
+
+// checkCoreCount guards the constructors against mask-corrupting sizes
+// with a clear error instead of silent wraparound downstream.
+func checkCoreCount(n int, what string) {
+	if n > MaxCores {
+		panic(fmt.Sprintf("cpu: %s has %d cores; affinity masks are uint64, max %d", what, n, MaxCores))
+	}
+}
+
 // Config is a machine configuration: an ordered list of core tier indices
 // over a tier set. Order matters — the paper averages each experiment over
 // two simulations with big-cores-first and little-cores-first orderings,
@@ -230,6 +244,9 @@ func (c Config) Validate() error {
 	if len(tiers) == 0 {
 		return fmt.Errorf("cpu: config %q has no tiers", c.Name)
 	}
+	if n := len(c.Kinds); n > MaxCores {
+		return fmt.Errorf("cpu: config %q has %d cores; affinity masks are uint64, max %d", c.Name, n, MaxCores)
+	}
 	for i, t := range tiers {
 		if err := t.Validate(); err != nil {
 			return err
@@ -249,6 +266,7 @@ func (c Config) Validate() error {
 // NewConfig builds a two-tier configuration with nBig big cores and nLittle
 // little cores. bigFirst selects the core ordering.
 func NewConfig(nBig, nLittle int, bigFirst bool) Config {
+	checkCoreCount(nBig+nLittle, fmt.Sprintf("config %dB%dS", nBig, nLittle))
 	name := fmt.Sprintf("%dB%dS", nBig, nLittle)
 	kinds := make([]Kind, 0, nBig+nLittle)
 	if bigFirst {
@@ -280,6 +298,11 @@ func NewTieredConfig(tiers []Tier, counts []int, bigFirst bool) Config {
 	if len(tiers) != len(counts) {
 		panic(fmt.Sprintf("cpu: NewTieredConfig got %d tiers but %d counts", len(tiers), len(counts)))
 	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	checkCoreCount(total, "NewTieredConfig palette")
 	name := ""
 	for i := len(tiers) - 1; i >= 0; i-- {
 		sym := tiers[i].Symbol
@@ -401,6 +424,7 @@ func (c Config) AllBig() Config {
 // speedup model is trained on (§4.1) and the all-big metric baseline runs
 // on.
 func NewSymmetric(kind Kind, n int) Config {
+	checkCoreCount(n, "NewSymmetric machine")
 	kinds := make([]Kind, n)
 	for i := range kinds {
 		kinds[i] = kind
@@ -412,6 +436,7 @@ func NewSymmetric(kind Kind, n int) Config {
 // given tier — the single-tier training machines per-tier speedup models
 // collect their counter runs on (the multi-tier analogue of NewSymmetric).
 func NewSymmetricTier(t Tier, n int) Config {
+	checkCoreCount(n, "NewSymmetricTier machine")
 	kinds := make([]Kind, n)
 	sym := t.Symbol
 	if sym == "" {

@@ -1,0 +1,48 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+// Machines beyond 64 cores would silently corrupt uint64 affinity masks;
+// every construction path must refuse them loudly instead.
+func TestMaxCoresGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: want panic on >%d cores", name, MaxCores)
+				return
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "affinity masks are uint64") {
+				t.Errorf("%s: panic %v does not explain the mask limit", name, r)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewConfig", func() { NewConfig(40, 40, true) })
+	mustPanic("NewTieredConfig", func() { NewTieredConfig(TriGearTiers(), []int{30, 30, 30}, true) })
+	mustPanic("NewSymmetric", func() { NewSymmetric(Big, MaxCores+1) })
+	mustPanic("NewSymmetricTier", func() { NewSymmetricTier(TierBig, MaxCores+1) })
+
+	// A hand-built oversized Config fails Validate with the same clarity.
+	kinds := make([]Kind, MaxCores+1)
+	cfg := Config{Name: "huge", Kinds: kinds}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "affinity masks are uint64") {
+		t.Errorf("Validate on %d cores = %v, want mask-limit error", len(kinds), err)
+	}
+}
+
+// The largest legal machine still constructs and validates: the guard must
+// not off-by-one away real capacity.
+func TestMaxCoresBoundaryAccepted(t *testing.T) {
+	cfg := NewConfig(MaxCores/2, MaxCores/2, true)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("%d-core machine must validate: %v", MaxCores, err)
+	}
+	if cfg.NumCores() != MaxCores {
+		t.Fatalf("cores = %d", cfg.NumCores())
+	}
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"colab/internal/cpu"
+	"colab/internal/policy"
+)
+
+// The stage-swap ablation on a reduced scope: the full-colab reference row
+// must normalise to exactly 1, every variant must produce finite positive
+// scores, and the inert governor rows must stay at 1.000 on the
+// fixed-frequency paper machine (composing a governor must not perturb a
+// machine with no ladders).
+func TestStageAblationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stage ablation sweep is not -short friendly")
+	}
+	r := testRunner(t)
+	tab, err := r.stageAblation(context.Background(), []string{"Sync-2"},
+		[]cpu.Config{cpu.Config2B2S}, StageAblationVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(StageAblationVariants()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(StageAblationVariants()))
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[col], err)
+		}
+		return v
+	}
+	for _, row := range tab.Rows {
+		antt, stp := cell(row, 2), cell(row, 3)
+		if antt <= 0 || stp <= 0 {
+			t.Errorf("%s: degenerate normalised scores %v / %v", row[0], antt, stp)
+		}
+		switch row[0] {
+		case "full colab", "governor -> colab", "governor -> eas":
+			// Reference row and governors on a ladder-less machine: the
+			// composition must be score-identical to full COLAB.
+			if antt != 1 || stp != 1 {
+				t.Errorf("%s on 2B2S: want exact 1.000/1.000, got %v/%v", row[0], antt, stp)
+			}
+		}
+	}
+}
+
+// The variant list itself: first row is the reference, every composition
+// passes registry validation.
+func TestStageAblationVariantsValid(t *testing.T) {
+	vs := StageAblationVariants()
+	if vs[0].Label != "full colab" {
+		t.Fatalf("first variant must be the reference, got %q", vs[0].Label)
+	}
+	for _, v := range vs {
+		if err := policy.Check(v.Composition); err != nil {
+			t.Errorf("variant %q: %v", v.Label, err)
+		}
+	}
+}

@@ -108,7 +108,7 @@ func geomeanCell(t *testing.T, rows [][]string, group string, idx int) float64 {
 	return 0
 }
 
-func TestAblationTable(t *testing.T) {
+func TestOptionsAblationTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is not -short friendly")
 	}

@@ -42,8 +42,8 @@ func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params
 	if cfg.NumCores() == 0 {
 		return nil, fmt.Errorf("kernel: config %q has no cores", cfg.Name)
 	}
-	if cfg.NumCores() > 64 {
-		return nil, fmt.Errorf("kernel: config %q has %d cores; affinity masks support 64", cfg.Name, cfg.NumCores())
+	if cfg.NumCores() > cpu.MaxCores {
+		return nil, fmt.Errorf("kernel: config %q has %d cores; affinity masks support %d", cfg.Name, cfg.NumCores(), cpu.MaxCores)
 	}
 	if len(w.Apps) == 0 {
 		return nil, fmt.Errorf("kernel: workload %q has no apps", w.Name)

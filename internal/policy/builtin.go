@@ -93,4 +93,68 @@ func init() {
 	MustRegister(COLABOracle, func(Context) (kernel.Scheduler, error) {
 		return colab.New(colab.Options{Speedup: perfmodel.Oracle()}), nil
 	})
+
+	registerBuiltinStages()
+}
+
+// registerBuiltinStages populates the stage level of the registry with the
+// decomposed built-ins. WASH and GTS are labeler-only policies — their
+// allocator/selector really are CFS — so those slots alias the CFS stages,
+// letting compositions like "colab.labeler+wash.selector" read naturally.
+func registerBuiltinStages() {
+	cfsAllocator := func(Context) (kernel.Stage, error) {
+		return cfs.NewAllocator(cfs.Options{}), nil
+	}
+	cfsSelector := func(Context) (kernel.Stage, error) {
+		return cfs.NewSelector(cfs.Options{}), nil
+	}
+	for _, name := range []string{Linux, WASH, GTS} {
+		MustRegisterStage(SlotAllocator, name, cfsAllocator)
+		MustRegisterStage(SlotSelector, name, cfsSelector)
+	}
+	MustRegisterStage(SlotLabeler, WASH, func(ctx Context) (kernel.Stage, error) {
+		return wash.NewLabeler(wash.Options{Speedup: ctx.Speedup}), nil
+	})
+	MustRegisterStage(SlotLabeler, GTS, func(Context) (kernel.Stage, error) {
+		return gts.NewLabeler(gts.Options{}), nil
+	})
+	MustRegisterStage(SlotLabeler, EAS, func(Context) (kernel.Stage, error) {
+		return eas.NewLabeler(eas.Options{}), nil
+	})
+	MustRegisterStage(SlotAllocator, EAS, func(Context) (kernel.Stage, error) {
+		return eas.NewAllocator(eas.Options{}), nil
+	})
+	MustRegisterStage(SlotSelector, EAS, func(Context) (kernel.Stage, error) {
+		return eas.NewSelector(eas.Options{}), nil
+	})
+	MustRegisterStage(SlotGovernor, EAS, func(Context) (kernel.Stage, error) {
+		return eas.NewGovernor(eas.Options{}), nil
+	})
+	// Plain colab.labeler keeps the "colab" policy's semantics exactly:
+	// upper-tier scaling interpolates the big-anchor prediction, never the
+	// per-tier trained model — per-tier predictions are the dvfs variant's
+	// feature, carried by the separate colab-dvfs.labeler below. This keeps
+	// the canonical composition byte-identical to the "colab" policy under
+	// every context, tiered or not.
+	MustRegisterStage(SlotLabeler, COLAB, func(ctx Context) (kernel.Stage, error) {
+		return colab.NewLabeler(colab.Options{Speedup: ctx.Speedup}), nil
+	})
+	MustRegisterStage(SlotLabeler, COLABDVFS, func(ctx Context) (kernel.Stage, error) {
+		return colab.NewLabeler(colab.Options{
+			Speedup:          ctx.Speedup,
+			TierSpeedup:      ctx.TierSpeedup,
+			TierSpeedupTiers: ctx.TierSpeedupTiers,
+		}), nil
+	})
+	MustRegisterStage(SlotAllocator, COLAB, func(ctx Context) (kernel.Stage, error) {
+		return colab.NewAllocator(colab.Options{Speedup: ctx.Speedup}), nil
+	})
+	MustRegisterStage(SlotSelector, COLAB, func(ctx Context) (kernel.Stage, error) {
+		return colab.NewSelector(colab.Options{Speedup: ctx.Speedup}), nil
+	})
+	// The registry's colab.governor is built active (Options.Governor on):
+	// composing it into a pipeline means asking for label-driven DVFS.
+	MustRegisterStage(SlotGovernor, COLAB, func(Context) (kernel.Stage, error) {
+		return colab.NewGovernor(colab.Options{Governor: true}), nil
+	})
 }

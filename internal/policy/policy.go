@@ -5,6 +5,12 @@
 // colab.NewPolicy), the experiment harness and the cmd/ tools all consume
 // this registry, so the set of known policy names lives in exactly one
 // place.
+//
+// The registry is two-level: whole policies (this file) and individual
+// pipeline stages (stage.go). Names using the composition grammar
+// ("colab.labeler+wash.selector+...") resolve through the stage level, so
+// every stage combination is addressable wherever a policy name is
+// accepted.
 package policy
 
 import (
@@ -81,26 +87,34 @@ func Names() []string {
 	return out
 }
 
-// Check reports whether name is registered; an unknown name errors with
-// the full registered-name list, so callers surface the valid choices for
-// free.
+// Check reports whether name is registered (or is a resolvable pipeline
+// composition); an unknown name errors with the full registered-name list —
+// or, for a composition with an unknown stage, the slot's registered stage
+// names — so callers surface the valid choices for free.
 func Check(name string) error {
 	mu.RLock()
 	_, ok := factories[name]
 	mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("policy: unknown policy %q (registered: %s)",
-			name, strings.Join(Names(), ", "))
+	if ok {
+		return nil
 	}
-	return nil
+	if IsComposition(name) {
+		return checkComposition(name)
+	}
+	return fmt.Errorf("policy: unknown policy %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
 }
 
-// New instantiates the named policy. Unknown names error like Check.
+// New instantiates the named policy. Composition-grammar names build a
+// stage pipeline; other unknown names error like Check.
 func New(name string, ctx Context) (kernel.Scheduler, error) {
 	mu.RLock()
 	f, ok := factories[name]
 	mu.RUnlock()
 	if !ok {
+		if IsComposition(name) {
+			return newComposition(name, ctx)
+		}
 		return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
 			name, strings.Join(Names(), ", "))
 	}

@@ -27,15 +27,18 @@
 // are charged for work received rather than wall time and selection
 // triggers proportionally more often on fast cores (the paper's
 // scale-slice equal-progress mechanism).
+//
+// The decomposition is literal: the package exports the three heuristics
+// (plus the tri-gear DVFS governor) as pipeline stages — LabelerStage,
+// AllocatorStage, SelectorStage, GovernorStage — coupled only through the
+// pipeline hint board, so each can be swapped against another policy's
+// stage (the paper's ablation story, now expressible in the public API).
+// Policy composes the canonical four.
 package colab
 
 import (
-	"fmt"
-	"sort"
-
 	"colab/internal/cpu"
 	"colab/internal/kernel"
-	"colab/internal/mathx"
 	"colab/internal/sim"
 	"colab/internal/task"
 )
@@ -155,47 +158,25 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// tinfo is the per-thread runtime model state.
-type tinfo struct {
-	label      Label
-	targetTier int // tier the allocator steers to; -1 = free
-	pred       float64
-	// tierPred caches the per-tier speedup predictions of the last labeling
-	// pass (nil until the first pass, or when no TierSpeedup model is set).
-	tierPred  []float64
-	blameEWMA float64
-	lastBlame sim.Time
-}
-
-// Policy is the COLAB scheduler.
+// Policy is the COLAB scheduler: the canonical composition of the four
+// COLAB stages over the generic pipeline driver.
 type Policy struct {
+	kernel.Scheduler
 	opts Options
-	m    *kernel.Machine
-
-	info map[*task.Thread]*tinfo
-	rqs  [][]*task.Thread // per-core ready queues (selection scans by blame)
-
-	// tierIDs[k] holds the allocation targets for tier k: the tier's own
-	// cores when the cluster is populated, all cores otherwise.
-	tierIDs [][]int
-	allIDs  []int
-	rrTier  []int
-	rrAll   int
-	// stealOrder[k] lists, for a core of tier k, the other tiers to scan
-	// in selection order: the core's own tier first, then the remaining
-	// tiers from the top of the machine down.
-	stealOrder [][]int
-	// govSince[coreID] is when the governor last changed that core's
-	// operating point (downshift hysteresis).
-	govSince []sim.Time
-	// useTierPred reports whether TierSpeedup applies to this machine
-	// (set in Start after the palette check).
-	useTierPred bool
+	lab  *LabelerStage
+	gov  *GovernorStage
 }
 
 // New returns a COLAB policy.
 func New(opts Options) *Policy {
-	return &Policy{opts: opts.withDefaults(), info: make(map[*task.Thread]*tinfo)}
+	opts = opts.withDefaults()
+	lab := NewLabeler(opts)
+	gov := NewGovernor(opts)
+	sched, err := kernel.NewPipeline("colab", lab, NewAllocator(opts), NewSelector(opts), gov)
+	if err != nil {
+		panic(err) // both mandatory stages are supplied above
+	}
+	return &Policy{Scheduler: sched, opts: opts, lab: lab, gov: gov}
 }
 
 // Name implements kernel.Scheduler.
@@ -209,127 +190,17 @@ func (p *Policy) Name() string {
 	return "colab"
 }
 
-// Start implements kernel.Scheduler.
-func (p *Policy) Start(m *kernel.Machine) {
-	p.m = m
-	p.info = make(map[*task.Thread]*tinfo)
-	p.rqs = make([][]*task.Thread, len(m.Cores()))
-	p.allIDs = p.allIDs[:0]
-	for i := range m.Cores() {
-		p.allIDs = append(p.allIDs, i)
-	}
-	nt := m.NumTiers()
-	p.tierIDs = make([][]int, nt)
-	p.rrTier = make([]int, nt)
-	p.stealOrder = make([][]int, nt)
-	for tier := 0; tier < nt; tier++ {
-		ids := m.TierCoreIDs(tier)
-		if len(ids) == 0 {
-			ids = p.allIDs // unpopulated cluster: fall back to everything
-		}
-		p.tierIDs[tier] = ids
-		order := []int{tier}
-		for other := nt - 1; other >= 0; other-- {
-			if other != tier {
-				order = append(order, other)
-			}
-		}
-		p.stealOrder[tier] = order
-	}
-	p.rrAll = 0
-	p.govSince = make([]sim.Time, len(m.Cores()))
-	p.useTierPred = p.opts.TierSpeedup != nil &&
-		(p.opts.TierSpeedupTiers == nil || paletteMatches(p.opts.TierSpeedupTiers, m.Tiers()))
-	m.Engine().After(p.opts.Interval, p.label)
-}
+// SelectOPP implements kernel.DVFSGovernor. With Options.Governor unset it
+// pins every core at nominal, reproducing fixed-frequency COLAB exactly.
+func (p *Policy) SelectOPP(c *kernel.Core, t *task.Thread) int { return p.gov.SelectOPP(c, t) }
 
-// Admit implements kernel.Scheduler.
-func (p *Policy) Admit(t *task.Thread) {
-	p.info[t] = &tinfo{label: LabelFree, targetTier: -1, pred: perfNeutral}
-}
+// Labels returns a snapshot of the current label of every live thread
+// (diagnostics and tests).
+func (p *Policy) Labels() map[*task.Thread]Label { return p.lab.Labels() }
 
-const perfNeutral = 1.5
-
-// ThreadDone implements kernel.Scheduler.
-func (p *Policy) ThreadDone(t *task.Thread) {
-	delete(p.info, t)
-}
-
-func (p *Policy) ti(t *task.Thread) *tinfo {
-	in := p.info[t]
-	if in == nil {
-		in = &tinfo{label: LabelFree, targetTier: -1, pred: perfNeutral}
-		p.info[t] = in
-	}
-	return in
-}
-
-// ---------------------------------------------------------------------------
-// Multi-factor labeler (§3.2): periodically refresh the runtime models and
-// re-tag every live thread with a target tier.
-
-func (p *Policy) label() {
-	if p.m.Done() {
-		return
-	}
-	defer p.m.Engine().After(p.opts.Interval, p.label)
-	if len(p.info) == 0 {
-		return
-	}
-	// Iterate in thread-ID order: map order would randomise the float
-	// summation behind the thresholds and break run-to-run determinism.
-	threads := make([]*task.Thread, 0, len(p.info))
-	for t := range p.info {
-		threads = append(threads, t)
-	}
-	sort.Slice(threads, func(i, j int) bool { return threads[i].ID < threads[j].ID })
-	preds := make([]float64, 0, len(threads))
-	blames := make([]float64, 0, len(threads))
-	nt := p.m.NumTiers()
-	for _, t := range threads {
-		in := p.info[t]
-		in.pred = p.opts.Speedup(t)
-		if p.useTierPred {
-			if in.tierPred == nil {
-				in.tierPred = make([]float64, nt)
-			}
-			in.tierPred[0] = 1
-			for tier := 1; tier < nt; tier++ {
-				in.tierPred[tier] = p.opts.TierSpeedup(t, tier)
-			}
-		}
-		intervalBlame := float64(t.BlockBlame - in.lastBlame)
-		in.lastBlame = t.BlockBlame
-		in.blameEWMA = p.opts.BlameDecay*in.blameEWMA + (1-p.opts.BlameDecay)*intervalBlame
-		t.IntervalCounters = cpu.Vec{}
-		preds = append(preds, in.pred)
-		blames = append(blames, in.blameEWMA)
-	}
-	pMean, pStd := mathx.Mean(preds), mathx.Std(preds)
-	bMean := mathx.Mean(blames)
-	// Degenerate distributions (all threads alike) must not label everyone
-	// big: require a real margin above the mean.
-	highThresh := pMean + mathx.Clamp(p.opts.HighSpeedupZ*pStd, 0.02*pMean, 1)
-	lowThresh := pMean
-	top := p.m.TopTier()
-	for _, t := range threads {
-		in := p.info[t]
-		switch {
-		case in.pred >= highThresh:
-			in.label, in.targetTier = LabelBig, top
-		case in.pred < lowThresh && in.blameEWMA <= 0.5*bMean:
-			in.label, in.targetTier = LabelLittle, 0
-		case nt > 2 && in.blameEWMA <= 0.5*bMean:
-			// Tier-ranked middle band: non-critical threads between the
-			// thresholds are spread over the middle tiers by predicted
-			// speedup. Critical ones keep full freedom (stay free).
-			in.label = LabelMid
-			in.targetTier = middleTier(nt, in.pred, lowThresh, highThresh)
-		default:
-			in.label, in.targetTier = LabelFree, -1
-		}
-	}
-}
+// TargetTiers returns a snapshot of every live thread's allocation target
+// tier (-1 = free), for diagnostics and tests.
+func (p *Policy) TargetTiers() map[*task.Thread]int { return p.lab.TargetTiers() }
 
 // paletteMatches reports whether the machine's palette is the one a tiered
 // predictor was trained for, on the fields prediction semantics depend on.
@@ -364,242 +235,7 @@ func middleTier(nt int, pred, low, high float64) int {
 	return idx
 }
 
-// ---------------------------------------------------------------------------
-// Hierarchical round-robin core allocator (Alg. 1: _core_alloctor_).
-
-// Enqueue implements kernel.Scheduler.
-func (p *Policy) Enqueue(t *task.Thread, wakeup bool) int {
-	var core int
-	switch {
-	case p.opts.FlatAllocator:
-		core = p.rr(p.allIDs, &p.rrAll)
-	default:
-		if tier := p.ti(t).targetTier; tier >= 0 {
-			core = p.rr(p.tierIDs[tier], &p.rrTier[tier])
-		} else {
-			core = p.rr(p.allIDs, &p.rrAll)
-		}
-	}
-	p.rqs[core] = append(p.rqs[core], t)
-	return core
-}
-
-func (p *Policy) rr(ids []int, ctr *int) int {
-	core := ids[*ctr%len(ids)]
-	*ctr++
-	return core
-}
-
-// ---------------------------------------------------------------------------
-// Tier-ranked global thread selector (Alg. 1: _thread_selector_).
-
-// PickNext implements kernel.Scheduler: most blocking thread from the local
-// queue, then the same-tier cluster, then the remaining tiers from the top
-// down; an empty core may pull a thread running on a lower-tier core.
-func (p *Policy) PickNext(c *kernel.Core) *task.Thread {
-	if t := p.takeMaxBlame(c.ID, c.ID); t != nil {
-		return t
-	}
-	if p.opts.LocalOnlySelector {
-		return nil
-	}
-	for _, tier := range p.stealOrder[int(c.Kind)] {
-		best, bestCore := p.scanMaxBlame(p.m.TierCoreIDs(tier), c)
-		if best != nil {
-			p.removeQueued(bestCore, best)
-			return best
-		}
-	}
-	if int(c.Kind) > 0 && !p.opts.DisablePull {
-		if t := p.pullFromLower(c); t != nil {
-			return t // still Running on the lower core; the kernel migrates it
-		}
-	}
-	return nil
-}
-
-// takeMaxBlame pops the most blocking thread allowed on core from queue q.
-func (p *Policy) takeMaxBlame(q, core int) *task.Thread {
-	best := -1
-	for i, t := range p.rqs[q] {
-		if !t.AllowedOn(core) {
-			continue
-		}
-		if best < 0 || p.moreCritical(t, p.rqs[q][best]) {
-			best = i
-		}
-	}
-	if best < 0 {
-		return nil
-	}
-	t := p.rqs[q][best]
-	p.rqs[q] = append(p.rqs[q][:best], p.rqs[q][best+1:]...)
-	return t
-}
-
-// scanMaxBlame finds (without removing) the most blocking stealable thread
-// across the queues of the listed cores.
-func (p *Policy) scanMaxBlame(ids []int, c *kernel.Core) (*task.Thread, int) {
-	var best *task.Thread
-	bestCore := -1
-	for _, id := range ids {
-		if id == c.ID {
-			continue
-		}
-		for _, t := range p.rqs[id] {
-			if !t.AllowedOn(c.ID) {
-				continue
-			}
-			if best == nil || p.moreCritical(t, best) {
-				best, bestCore = t, id
-			}
-		}
-	}
-	return best, bestCore
-}
-
-func (p *Policy) removeQueued(core int, t *task.Thread) {
-	q := p.rqs[core]
-	for i, o := range q {
-		if o == t {
-			p.rqs[core] = append(q[:i], q[i+1:]...)
-			return
-		}
-	}
-	panic(fmt.Sprintf("colab: thread %v not found in cpu%d queue", t, core))
-}
-
-// moreCritical orders candidates: higher blocking blame first (bottleneck
-// acceleration), then higher predicted speedup (only meaningful when an
-// upper-tier core selects — the §3.1 "empty big core" exception), then
-// lower vruntime.
-//
-// Blame priority only applies within a vruntime fairness window: a thread
-// that is more than FairnessWindow of (scaled) runtime ahead of a candidate
-// loses to it regardless of blame. This is the selector's side of "keeping
-// the whole workload in equal progress without penalizing any individual
-// application" (§3.1): in overloaded systems unbounded blame priority would
-// starve low-blame applications.
-func (p *Policy) moreCritical(a, b *task.Thread) bool {
-	ia, ib := p.ti(a), p.ti(b)
-	dv := a.VRuntime - b.VRuntime
-	if dv > p.opts.FairnessWindow || dv < -p.opts.FairnessWindow {
-		return dv < 0
-	}
-	if ia.blameEWMA != ib.blameEWMA {
-		return ia.blameEWMA > ib.blameEWMA
-	}
-	if ia.pred != ib.pred {
-		return ia.pred > ib.pred
-	}
-	return a.VRuntime < b.VRuntime
-}
-
-// pullFromLower selects the most critical thread currently running on a
-// strictly lower tier for migration onto the idle core c. Lower tiers
-// never pull from higher ones.
-func (p *Policy) pullFromLower(c *kernel.Core) *task.Thread {
-	var best *task.Thread
-	cores := p.m.Cores()
-	for tier := 0; tier < int(c.Kind); tier++ {
-		for _, id := range p.m.TierCoreIDs(tier) {
-			t := cores[id].Current
-			if t == nil || t.State != task.Running || !t.AllowedOn(c.ID) {
-				continue
-			}
-			if best == nil || p.moreCritical(t, best) {
-				best = t
-			}
-		}
-	}
-	return best
-}
-
-// ---------------------------------------------------------------------------
-// Scale-slice fairness (§3.2 / §4.1).
-
-// tierScale is the tier-relative predicted speedup of t on c: 1 on the base
-// tier and, in two-anchor mode, the big prediction interpolated through
-// Tier.RelSpeedup in between. With a per-tier trained model (TierSpeedup)
-// the labeler's cached per-tier prediction is used directly instead.
-func (p *Policy) tierScale(c *kernel.Core, t *task.Thread) float64 {
-	if c.Kind == 0 {
-		return 1
-	}
-	in := p.ti(t)
-	if in.tierPred != nil {
-		if s := in.tierPred[c.Kind]; s > 1 {
-			return s
-		}
-		return 1
-	}
-	return c.Tier.RelSpeedup(in.pred)
-}
-
-// TimeSlice implements kernel.Scheduler. On upper-tier cores the slice
-// shrinks by the tier-relative predicted speedup so selection triggers
-// proportionally more often.
-func (p *Policy) TimeSlice(c *kernel.Core, t *task.Thread) sim.Time {
-	nr := len(p.rqs[c.ID]) + 1
-	slice := p.opts.TargetLatency / sim.Time(nr)
-	if slice < p.opts.MinGranularity {
-		slice = p.opts.MinGranularity
-	}
-	if c.Kind > 0 && !p.opts.DisableScaleSlice {
-		if s := p.tierScale(c, t); s > 1 {
-			slice = sim.Time(float64(slice) / s)
-		}
-		if min := p.opts.MinGranularity / 2; slice < min {
-			slice = min
-		}
-	}
-	return slice
-}
-
-// VRuntimeScale implements kernel.Scheduler: upper-tier cores charge
-// vruntime at the tier-relative predicted speedup so equal vruntime means
-// equal progress.
-func (p *Policy) VRuntimeScale(c *kernel.Core, t *task.Thread) float64 {
-	if c.Kind > 0 && !p.opts.DisableScaleSlice {
-		if s := p.tierScale(c, t); s > 1 {
-			return s
-		}
-	}
-	return 1
-}
-
-// WakeupPreempt implements kernel.Scheduler: the CFS granularity check,
-// relaxed for woken threads that are more critical than the running one.
-func (p *Policy) WakeupPreempt(c *kernel.Core, t *task.Thread) bool {
-	cur := c.Current
-	if cur == nil {
-		return false
-	}
-	vdiff := cur.VRuntime - t.VRuntime
-	if vdiff > p.opts.WakeupGranularity {
-		return true
-	}
-	return p.ti(t).blameEWMA > p.ti(cur).blameEWMA && vdiff > p.opts.WakeupGranularity/4
-}
-
-// Labels returns a snapshot of the current label of every live thread
-// (diagnostics and tests).
-func (p *Policy) Labels() map[*task.Thread]Label {
-	out := make(map[*task.Thread]Label, len(p.info))
-	for t, in := range p.info {
-		out[t] = in.label
-	}
-	return out
-}
-
-// TargetTiers returns a snapshot of every live thread's allocation target
-// tier (-1 = free), for diagnostics and tests.
-func (p *Policy) TargetTiers() map[*task.Thread]int {
-	out := make(map[*task.Thread]int, len(p.info))
-	for t, in := range p.info {
-		out[t] = in.targetTier
-	}
-	return out
-}
-
-var _ kernel.Scheduler = (*Policy)(nil)
+var (
+	_ kernel.Scheduler    = (*Policy)(nil)
+	_ kernel.DVFSGovernor = (*Policy)(nil)
+)

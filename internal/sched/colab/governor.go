@@ -2,6 +2,7 @@ package colab
 
 import (
 	"colab/internal/kernel"
+	"colab/internal/sim"
 	"colab/internal/task"
 )
 
@@ -28,6 +29,11 @@ import (
 // and downshifts walk the ladder one step per GovernorHold so a single
 // mislabelled interval cannot park a core low. Upshifts apply immediately —
 // a bottleneck must never wait on the governor.
+//
+// As a pipeline stage ("colab.governor") the decision rules read the
+// labeler's published hints, so the governor composes with any labeler
+// that tags threads COLAB-style — and degrades to full speed (free label,
+// no fresh blame) under labelers that do not.
 
 // OPPForLabel maps a labeler tag onto the operating-point index the
 // governor requests on a ladder of numOPPs ascending frequencies.
@@ -45,35 +51,61 @@ func OPPForLabel(l Label, numOPPs int) int {
 	}
 }
 
-// SelectOPP implements kernel.DVFSGovernor. With Options.Governor unset it
-// pins every core at nominal, reproducing fixed-frequency COLAB exactly.
-func (p *Policy) SelectOPP(c *kernel.Core, t *task.Thread) int {
-	if !p.opts.Governor {
+// GovernorStage is the label-driven COLAB governor as a pipeline stage.
+// With Options.Governor unset it pins every core at nominal, reproducing
+// fixed-frequency COLAB exactly (the canonical "colab" policy carries the
+// stage in that inert state; the "colab.governor" registry stage is built
+// active).
+type GovernorStage struct {
+	opts Options
+	pc   *kernel.PipelineContext
+	// govSince[coreID] is when the governor last changed that core's
+	// operating point (downshift hysteresis).
+	govSince []sim.Time
+}
+
+// NewGovernor returns the COLAB governor stage.
+func NewGovernor(opts Options) *GovernorStage {
+	return &GovernorStage{opts: opts.withDefaults()}
+}
+
+// Name implements kernel.Stage.
+func (g *GovernorStage) Name() string { return "colab.governor" }
+
+// Start implements kernel.Stage.
+func (g *GovernorStage) Start(pc *kernel.PipelineContext) {
+	g.pc = pc
+	g.govSince = make([]sim.Time, len(pc.Machine().Cores()))
+}
+
+// SelectOPP implements kernel.Governor.
+func (g *GovernorStage) SelectOPP(c *kernel.Core, t *task.Thread) int {
+	if !g.opts.Governor {
 		return c.NumOPPs() - 1
 	}
 	cur := c.OPP()
-	in := p.ti(t)
-	want := OPPForLabel(in.label, c.NumOPPs())
+	h := g.pc.Hints().Get(t)
+	want := OPPForLabel(Label(h.Label), c.NumOPPs())
 	// Blame is only folded into labels every Interval, but criticality moves
 	// faster than that in sync-heavy mixes: a thread that released waiters
 	// since the last labeling pass holds a contended resource right now and
 	// must not run derated, whatever its label says.
-	if t.BlockBlame > in.lastBlame {
+	if t.BlockBlame > h.LastBlame {
 		want = c.NumOPPs() - 1
 	}
-	now := p.m.Now()
+	now := g.pc.Machine().Now()
 	switch {
 	case want > cur:
-		p.govSince[c.ID] = now
+		g.govSince[c.ID] = now
 		return want
 	case want < cur:
-		if now-p.govSince[c.ID] < p.opts.GovernorHold {
+		if now-g.govSince[c.ID] < g.opts.GovernorHold {
 			return cur // hysteresis: hold before stepping down
 		}
-		p.govSince[c.ID] = now
+		g.govSince[c.ID] = now
 		return cur - 1
 	}
 	return cur
 }
 
-var _ kernel.DVFSGovernor = (*Policy)(nil)
+var _ kernel.Governor = (*GovernorStage)(nil)

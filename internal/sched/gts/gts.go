@@ -7,6 +7,10 @@
 // the real governor behave. No bottleneck awareness, no asymmetric
 // fairness. It exists as the extension comparison point the paper discusses
 // qualitatively (§2).
+//
+// In pipeline terms GTS is a single stage: LabelerStage ("gts.labeler").
+// New composes it with the CFS allocator and selector stages; the registry
+// aliases "gts.allocator" and "gts.selector" to the CFS stages.
 package gts
 
 import (
@@ -47,6 +51,17 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// New returns the GTS policy: the GTS load-ladder labeler stage over CFS
+// allocation and selection.
+func New(opts Options) kernel.Scheduler {
+	opts = opts.withDefaults()
+	s, err := kernel.NewPipeline("gts", NewLabeler(opts), cfs.NewAllocator(opts.CFS), cfs.NewSelector(opts.CFS), nil)
+	if err != nil {
+		panic(err) // both mandatory stages are supplied above
+	}
+	return s
+}
+
 type info struct {
 	load     float64
 	lastExec sim.Time
@@ -54,12 +69,12 @@ type info struct {
 	tier     int // current placement tier (affinity ladder rung)
 }
 
-// Policy is the GTS-like scheduler: CFS mechanics plus load-average
-// affinity steering over the tier ladder.
-type Policy struct {
-	*cfs.Policy
+// LabelerStage is the GTS load-average affinity ladder as a pipeline stage.
+// It publishes each thread's ladder rung (TargetTier) and load (Util) as
+// hints for downstream stages in hybrid pipelines.
+type LabelerStage struct {
 	opts    Options
-	m       *kernel.Machine
+	pc      *kernel.PipelineContext
 	threads map[*task.Thread]*info
 	lastAt  sim.Time
 
@@ -70,82 +85,81 @@ type Policy struct {
 	topTier  int
 }
 
-// New returns a GTS policy.
-func New(opts Options) *Policy {
-	return &Policy{Policy: cfs.New(opts.CFS), opts: opts.withDefaults(), threads: make(map[*task.Thread]*info)}
+// NewLabeler returns the GTS labeler stage.
+func NewLabeler(opts Options) *LabelerStage {
+	return &LabelerStage{opts: opts.withDefaults()}
 }
 
-// Name implements kernel.Scheduler.
-func (p *Policy) Name() string { return "gts" }
+// Name implements kernel.Stage.
+func (l *LabelerStage) Name() string { return "gts.labeler" }
 
-// Start implements kernel.Scheduler.
-func (p *Policy) Start(m *kernel.Machine) {
-	p.Policy.Start(m)
-	p.m = m
-	p.threads = make(map[*task.Thread]*info)
-	p.lastAt = 0
-	p.topTier = m.NumTiers() - 1
-	p.tierMask = make([]uint64, m.NumTiers())
-	for tier := range p.tierMask {
-		p.tierMask[tier] = task.MaskOf(m.TierCoreIDs(tier))
+// Start implements kernel.Stage.
+func (l *LabelerStage) Start(pc *kernel.PipelineContext) {
+	l.pc = pc
+	m := pc.Machine()
+	l.threads = make(map[*task.Thread]*info)
+	l.lastAt = 0
+	l.topTier = m.NumTiers() - 1
+	l.tierMask = make([]uint64, m.NumTiers())
+	for tier := range l.tierMask {
+		l.tierMask[tier] = task.MaskOf(m.TierCoreIDs(tier))
 	}
-	for tier := range p.tierMask {
-		if p.tierMask[tier] == 0 {
-			p.tierMask[tier] = p.nearestMask(tier)
+	for tier := range l.tierMask {
+		if l.tierMask[tier] == 0 {
+			l.tierMask[tier] = l.nearestMask(tier)
 		}
 	}
-	m.Engine().After(p.opts.Interval, p.sample)
+	m.Engine().After(l.opts.Interval, l.sample)
 }
 
 // nearestMask finds the mask of the nearest populated tier, preferring
 // lower tiers (down-migration is always safe).
-func (p *Policy) nearestMask(tier int) uint64 {
-	for d := 1; d <= p.topTier; d++ {
-		if lo := tier - d; lo >= 0 && p.tierMask[lo] != 0 {
-			return p.tierMask[lo]
+func (l *LabelerStage) nearestMask(tier int) uint64 {
+	for d := 1; d <= l.topTier; d++ {
+		if lo := tier - d; lo >= 0 && l.tierMask[lo] != 0 {
+			return l.tierMask[lo]
 		}
-		if hi := tier + d; hi <= p.topTier && p.tierMask[hi] != 0 {
-			return p.tierMask[hi]
+		if hi := tier + d; hi <= l.topTier && l.tierMask[hi] != 0 {
+			return l.tierMask[hi]
 		}
 	}
 	return task.AffinityAll
 }
 
-// Admit implements kernel.Scheduler.
-func (p *Policy) Admit(t *task.Thread) {
-	p.Policy.Admit(t)
+// Admit implements kernel.Labeler.
+func (l *LabelerStage) Admit(t *task.Thread) {
 	// New threads start heavy (GTS boots threads on the fastest tier):
 	// optimistic load.
-	p.threads[t] = &info{load: 1, tier: p.topTier}
+	l.threads[t] = &info{load: 1, tier: l.topTier}
 	t.Affinity = task.AffinityAll
 }
 
-// ThreadDone implements kernel.Scheduler.
-func (p *Policy) ThreadDone(t *task.Thread) {
-	p.Policy.ThreadDone(t)
-	delete(p.threads, t)
+// ThreadDone implements kernel.Labeler.
+func (l *LabelerStage) ThreadDone(t *task.Thread) {
+	delete(l.threads, t)
 }
 
-func (p *Policy) sample() {
-	if p.m.Done() {
+func (l *LabelerStage) sample() {
+	m := l.pc.Machine()
+	if m.Done() {
 		return
 	}
-	defer p.m.Engine().After(p.opts.Interval, p.sample)
-	now := p.m.Now()
-	wall := float64(now - p.lastAt)
-	p.lastAt = now
-	if wall <= 0 || len(p.threads) == 0 {
+	defer m.Engine().After(l.opts.Interval, l.sample)
+	now := m.Now()
+	wall := float64(now - l.lastAt)
+	l.lastAt = now
+	if wall <= 0 || len(l.threads) == 0 {
 		return
 	}
 	// Iterate in thread-ID order: map order would randomise the affinity
 	// re-queue sequence and break run-to-run determinism.
-	threads := make([]*task.Thread, 0, len(p.threads))
-	for t := range p.threads {
+	threads := make([]*task.Thread, 0, len(l.threads))
+	for t := range l.threads {
 		threads = append(threads, t)
 	}
 	sort.Slice(threads, func(i, j int) bool { return threads[i].ID < threads[j].ID })
 	for _, t := range threads {
-		in := p.threads[t]
+		in := l.threads[t]
 		running := float64(t.SumExec - in.lastExec)
 		ready := float64(t.ReadyTime - in.lastRdy)
 		in.lastExec = t.SumExec
@@ -154,22 +168,21 @@ func (p *Policy) sample() {
 		if inst > 1 {
 			inst = 1
 		}
-		in.load = p.opts.LoadDecay*in.load + (1-p.opts.LoadDecay)*inst
+		in.load = l.opts.LoadDecay*in.load + (1-l.opts.LoadDecay)*inst
 		switch {
-		case in.tier < p.topTier && in.load > p.opts.UpThreshold:
+		case in.tier < l.topTier && in.load > l.opts.UpThreshold:
 			in.tier++
-		case in.tier > 0 && in.load < p.opts.DownThreshold:
+		case in.tier > 0 && in.load < l.opts.DownThreshold:
 			in.tier--
 		}
-		mask := p.tierMask[in.tier]
+		h := l.pc.Hints().Get(t)
+		h.TargetTier, h.Util = in.tier, in.load
+		mask := l.tierMask[in.tier]
 		if t.Affinity != mask {
 			t.Affinity = mask
-			if core := p.QueuedOn(t); core >= 0 && !t.AllowedOn(core) {
-				p.Dequeue(t)
-				p.m.Kick(p.Policy.Enqueue(t, false))
-			}
+			l.pc.Requeue(t)
 		}
 	}
 }
 
-var _ kernel.Scheduler = (*Policy)(nil)
+var _ kernel.Labeler = (*LabelerStage)(nil)

@@ -5,6 +5,12 @@
 // that only steers thread *affinity*. Allocation and selection below the
 // affinity masks remain plain CFS, which is exactly the limitation COLAB's
 // coordinated allocator/selector removes.
+//
+// In pipeline terms WASH is therefore a single stage: LabelerStage
+// ("wash.labeler"). New composes it with the CFS allocator and selector
+// stages; the registry additionally aliases "wash.allocator" and
+// "wash.selector" to the CFS stages so the composition grammar reads
+// naturally.
 package wash
 
 import (
@@ -60,95 +66,108 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// New returns the WASH policy: the WASH labeler stage over CFS allocation
+// and selection.
+func New(opts Options) kernel.Scheduler {
+	opts = opts.withDefaults()
+	s, err := kernel.NewPipeline("wash", NewLabeler(opts), cfs.NewAllocator(opts.CFS), cfs.NewSelector(opts.CFS), nil)
+	if err != nil {
+		panic(err) // both mandatory stages are supplied above
+	}
+	return s
+}
+
 type info struct {
 	pred      float64
 	blameEWMA float64
 	lastBlame sim.Time
-	onBig     bool
 }
 
-// Policy is the WASH scheduler: CFS mechanics plus an affinity labeler.
-type Policy struct {
-	*cfs.Policy
+// LabelerStage is the periodic WASH heuristic as a pipeline stage: one
+// mixed multi-factor score per thread, top scorers pinned to big cores, the
+// rest to little cores, undifferentiated threads left to the underlying
+// scheduler. It publishes each thread's predicted speedup and blame EWMA as
+// hints for downstream stages in hybrid pipelines.
+type LabelerStage struct {
 	opts    Options
-	m       *kernel.Machine
+	pc      *kernel.PipelineContext
 	threads map[*task.Thread]*info
 
 	bigMask    uint64
 	littleMask uint64
 }
 
-// New returns a WASH policy.
-func New(opts Options) *Policy {
-	return &Policy{Policy: cfs.New(opts.CFS), opts: opts.withDefaults(), threads: make(map[*task.Thread]*info)}
+// NewLabeler returns the WASH labeler stage.
+func NewLabeler(opts Options) *LabelerStage {
+	return &LabelerStage{opts: opts.withDefaults()}
 }
 
-// Name implements kernel.Scheduler.
-func (p *Policy) Name() string { return "wash" }
+// Name implements kernel.Stage.
+func (l *LabelerStage) Name() string { return "wash.labeler" }
 
-// Start implements kernel.Scheduler.
-func (p *Policy) Start(m *kernel.Machine) {
-	p.Policy.Start(m)
-	p.m = m
-	p.threads = make(map[*task.Thread]*info)
-	p.bigMask = task.MaskOf(m.BigCoreIDs())
-	p.littleMask = task.MaskOf(m.LittleCoreIDs())
-	if p.littleMask == 0 { // symmetric all-big machine: nothing to steer
-		p.littleMask = p.bigMask
+// Start implements kernel.Stage.
+func (l *LabelerStage) Start(pc *kernel.PipelineContext) {
+	l.pc = pc
+	m := pc.Machine()
+	l.threads = make(map[*task.Thread]*info)
+	l.bigMask = task.MaskOf(m.BigCoreIDs())
+	l.littleMask = task.MaskOf(m.LittleCoreIDs())
+	if l.littleMask == 0 { // symmetric all-big machine: nothing to steer
+		l.littleMask = l.bigMask
 	}
-	m.Engine().After(p.opts.Interval, p.label)
+	m.Engine().After(l.opts.Interval, l.label)
 }
 
-// Admit implements kernel.Scheduler.
-func (p *Policy) Admit(t *task.Thread) {
-	p.Policy.Admit(t)
-	p.threads[t] = &info{pred: 1.5}
+// Admit implements kernel.Labeler.
+func (l *LabelerStage) Admit(t *task.Thread) {
+	l.threads[t] = &info{pred: 1.5}
 }
 
-// ThreadDone implements kernel.Scheduler.
-func (p *Policy) ThreadDone(t *task.Thread) {
-	p.Policy.ThreadDone(t)
-	delete(p.threads, t)
+// ThreadDone implements kernel.Labeler.
+func (l *LabelerStage) ThreadDone(t *task.Thread) {
+	delete(l.threads, t)
 }
 
-// label is the periodic WASH heuristic: one mixed multi-factor score per
-// thread, top scorers pinned to big cores, the rest to little cores.
-func (p *Policy) label() {
-	if p.m.Done() {
+// label is the periodic scoring pass.
+func (l *LabelerStage) label() {
+	m := l.pc.Machine()
+	if m.Done() {
 		return
 	}
-	defer p.m.Engine().After(p.opts.Interval, p.label)
-	if len(p.threads) == 0 {
+	defer m.Engine().After(l.opts.Interval, l.label)
+	if len(l.threads) == 0 {
 		return
 	}
 	// Iterate in thread-ID order: map order would randomise both the
 	// score-normalisation sums and the affinity re-queue sequence.
-	threads := make([]*task.Thread, 0, len(p.threads))
-	for t := range p.threads {
+	threads := make([]*task.Thread, 0, len(l.threads))
+	for t := range l.threads {
 		threads = append(threads, t)
 	}
 	sort.Slice(threads, func(i, j int) bool { return threads[i].ID < threads[j].ID })
 	preds := make([]float64, 0, len(threads))
 	blames := make([]float64, 0, len(threads))
 	for _, t := range threads {
-		in := p.threads[t]
-		in.pred = p.opts.Speedup(t)
+		in := l.threads[t]
+		in.pred = l.opts.Speedup(t)
 		intervalBlame := float64(t.BlockBlame - in.lastBlame)
 		in.lastBlame = t.BlockBlame
-		in.blameEWMA = p.opts.BlameDecay*in.blameEWMA + (1-p.opts.BlameDecay)*intervalBlame
+		in.blameEWMA = l.opts.BlameDecay*in.blameEWMA + (1-l.opts.BlameDecay)*intervalBlame
 		t.IntervalCounters = cpu.Vec{}
+		h := l.pc.Hints().Get(t)
+		h.Pred, h.Crit, h.LastBlame = in.pred, in.blameEWMA, in.lastBlame
 		preds = append(preds, in.pred)
 		blames = append(blames, in.blameEWMA)
 	}
 	pMean, pStd := mathx.Mean(preds), mathx.Std(preds)
 	bMean, bStd := mathx.Mean(blames), mathx.Std(blames)
 	for _, t := range threads {
-		in := p.threads[t]
-		score := p.opts.SpeedupWeight*zscore(in.pred, pMean, pStd) +
-			p.opts.BlockWeight*zscore(in.blameEWMA, bMean, bStd)
+		in := l.threads[t]
+		score := l.opts.SpeedupWeight*zscore(in.pred, pMean, pStd) +
+			l.opts.BlockWeight*zscore(in.blameEWMA, bMean, bStd)
 		if t.SumExec > 0 {
 			bigShare := float64(t.SumExecBig) / float64(t.SumExec)
-			score -= p.opts.FairWeight * (2*bigShare - 1)
+			score -= l.opts.FairWeight * (2*bigShare - 1)
 		}
 		// WASH's characteristic behaviour: every thread that looks like a
 		// bottleneck is pushed to the big cores in addition to the high
@@ -157,13 +176,20 @@ func (p *Policy) label() {
 		// only *biases* placement; undifferentiated threads are left to the
 		// underlying Linux scheduler).
 		bottleneck := in.blameEWMA > bMean && in.blameEWMA > 0
+		var mask uint64
 		switch {
-		case score > p.opts.Band || bottleneck:
-			p.setAffinity(t, affBig)
-		case score < -p.opts.Band:
-			p.setAffinity(t, affLittle)
+		case score > l.opts.Band || bottleneck:
+			mask = l.bigMask
+		case score < -l.opts.Band:
+			mask = l.littleMask
 		default:
-			p.setAffinity(t, affAll)
+			mask = task.AffinityAll
+		}
+		if t.Affinity != mask {
+			t.Affinity = mask
+			// Re-place queued threads whose queue no longer matches the
+			// mask, the effect sched_setaffinity has on a waiting task.
+			l.pc.Requeue(t)
 		}
 	}
 }
@@ -175,36 +201,4 @@ func zscore(v, mean, std float64) float64 {
 	return (v - mean) / std
 }
 
-type affinity int
-
-const (
-	affAll affinity = iota
-	affBig
-	affLittle
-)
-
-func (p *Policy) setAffinity(t *task.Thread, a affinity) {
-	in := p.threads[t]
-	var mask uint64
-	switch a {
-	case affBig:
-		mask = p.bigMask
-	case affLittle:
-		mask = p.littleMask
-	default:
-		mask = task.AffinityAll
-	}
-	if t.Affinity == mask {
-		return
-	}
-	in.onBig = a == affBig
-	t.Affinity = mask
-	// Re-place queued threads whose queue no longer matches the mask, the
-	// effect sched_setaffinity has on a waiting task.
-	if core := p.QueuedOn(t); core >= 0 && !t.AllowedOn(core) {
-		p.Dequeue(t)
-		p.m.Kick(p.Policy.Enqueue(t, false))
-	}
-}
-
-var _ kernel.Scheduler = (*Policy)(nil)
+var _ kernel.Labeler = (*LabelerStage)(nil)
