@@ -55,7 +55,10 @@ func BenchmarkTable3Characterization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rng := mathx.NewRNG(uint64(i + 1))
 		for _, bench := range workload.All() {
-			app := bench.Instantiate(0, bench.DefaultThreads, rng)
+			app, err := bench.Instantiate(0, bench.DefaultThreads, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if app.NumThreads() == 0 {
 				b.Fatal("empty app")
 			}

@@ -3,12 +3,17 @@
 // Any policy in the registry — built-in or registered by a library user —
 // is selectable by name, as is any pipeline composition in the stage
 // grammar ("<name>.<slot>+...", slots labeler/allocator/selector/governor;
-// colab-workloads lists the stage vocabulary).
+// colab-workloads lists the stage vocabulary). The -workload flag takes
+// any scenario: a registered name (Table 4 indexes, user scenarios) or a
+// scenario-grammar spec, including open-system arrivals (colab-workloads
+// -describe prints how a spec parses).
 //
 // Usage:
 //
 //	colab-sim -workload Sync-2 -config 2B2S -sched colab
 //	colab-sim -workload Sync-2 -config 2B2S -sched colab -score
+//	colab-sim -workload "ferret:4+bodytrack:8" -sched colab
+//	colab-sim -workload "ferret:4@arrive=poisson(5ms)+blackscholes:4" -sched colab -score
 //	colab-sim -workload Sync-2 -sched colab.labeler+wash.selector
 //	colab-sim -bench ferret -threads 4 -config 2B2M2S -sched wash
 package main
@@ -39,7 +44,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("colab-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	wl := fs.String("workload", "", "Table 4 composition index (e.g. Sync-2, Rand-7)")
+	wl := fs.String("workload", "", "scenario: a registered name (e.g. Sync-2) or a grammar spec (e.g. \"ferret:4+bodytrack:8@arrive=poisson(5ms)\")")
 	bench := fs.String("bench", "", "single benchmark name instead of a composition")
 	threads := fs.Int("threads", 4, "thread count for -bench")
 	cfgName := fs.String("config", "2B2S", "hardware config: "+configNames())
@@ -70,11 +75,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case *bench != "":
 		w, err = workload.SingleProgram(*bench, *threads, *seed)
 	case *wl != "":
-		comp, ok := workload.CompositionByIndex(*wl)
-		if !ok {
-			return fmt.Errorf("unknown workload %q; known: %s", *wl, strings.Join(compositionIndexes(), ", "))
+		var spec workload.Spec
+		spec, err = workload.ResolveSpec(*wl)
+		if err != nil {
+			return err
 		}
-		w, err = comp.Build(*seed)
+		w, err = spec.Build(*seed)
 	default:
 		return fmt.Errorf("one of -workload or -bench is required")
 	}
@@ -127,12 +133,4 @@ func configNames() string {
 		out = append(out, c.Name)
 	}
 	return strings.Join(out, ", ")
-}
-
-func compositionIndexes() []string {
-	var out []string
-	for _, c := range workload.Compositions() {
-		out = append(out, c.Index)
-	}
-	return out
 }

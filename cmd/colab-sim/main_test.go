@@ -31,6 +31,27 @@ func TestRunTriGearBench(t *testing.T) {
 	}
 }
 
+// The -workload flag accepts the scenario grammar end to end, including
+// open-system arrivals (the arrival column appears in the summary).
+func TestRunScenarioGrammar(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "radix:2+fft:2@arrive=60ms", "-config", "2B2S", "-sched", "linux"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"workload radix:2+fft:2@arrive=60ms", "arrival", "60.000ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+	if err := run([]string{"-workload", "radix:2@arrive=bogus()"}, &out, &errb); err == nil {
+		t.Error("bad arrival spec must error")
+	}
+	if err := run([]string{"-workload", "no-such-workload"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "scenarios:") {
+		t.Errorf("unknown workload must list registries, got %v", err)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if err := run(nil, &out, &errb); err == nil {

@@ -1,12 +1,16 @@
 // Command colab-workloads prints the experiment inventory: Table 3
 // (benchmark categorisation), Table 4 (multi-programmed compositions), the
+// registered benchmarks and scenarios (the workload vocabulary), the
 // registered scheduling policies and the registered pipeline stages per
-// slot (the composition vocabulary), plus an optional per-benchmark
-// structural dump with per-tier speedups.
+// slot (the policy-composition vocabulary). -describe takes a benchmark
+// name (structural dump with per-tier speedups) or any scenario-grammar
+// spec (parsed composition: terms, seeds, arrival processes, expansion).
 //
 // Usage:
 //
-//	colab-workloads [-describe bench] [-tiers trigear]
+//	colab-workloads [-describe bench-or-spec] [-tiers trigear]
+//	colab-workloads -describe "Sync-2@seed=7"
+//	colab-workloads -describe "ferret:4@arrive=poisson(5ms)+blackscholes:4"
 package main
 
 import (
@@ -33,8 +37,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("colab-workloads", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	describe := fs.String("describe", "", "dump the structure of one benchmark instance")
-	threads := fs.Int("threads", 4, "thread count for -describe")
+	describe := fs.String("describe", "", "dump one benchmark's structure, or print how a scenario-grammar spec parses")
+	threads := fs.Int("threads", 4, "thread count for a benchmark -describe")
 	tierSet := fs.String("tiers", "biglittle", "tier palette for -describe speedups: biglittle or trigear")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,9 +56,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		b, ok := workload.ByName(*describe)
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q", *describe)
+			// Not a bare benchmark: describe the parsed scenario spec.
+			return describeSpec(stdout, *describe)
 		}
-		app := b.Instantiate(0, *threads, mathx.NewRNG(42))
+		app, err := b.Instantiate(0, *threads, mathx.NewRNG(42))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "%s (%s): sync=%s comm/comp=%s threads=%d\n",
 			b.Name, b.Suite, b.SyncRate, b.CommComp, app.NumThreads())
 		for _, t := range app.Threads {
@@ -71,6 +79,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, experiment.Table4())
 	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "== registered benchmarks (compose with \"<name>:<threads>+...\") ==")
+	fmt.Fprintln(stdout, strings.Join(colab.BenchmarkNames(), ", "))
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "== registered scenarios ==")
+	fmt.Fprintln(stdout, strings.Join(colab.ScenarioNames(), ", "))
+	fmt.Fprintln(stdout, "e.g. -describe \"Sync-2@seed=7\" or \"ferret:4@arrive=poisson(5ms)\"; modifiers: @seed=<n>, @arrive=<dur|fixed|uniform|poisson|trace>")
+	fmt.Fprintln(stdout)
 	fmt.Fprintln(stdout, "== registered scheduling policies ==")
 	fmt.Fprintln(stdout, strings.Join(colab.Policies(), ", "))
 	fmt.Fprintln(stdout)
@@ -79,5 +94,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "%-10s %s\n", slot, strings.Join(colab.StageNames(slot), ", "))
 	}
 	fmt.Fprintln(stdout, "e.g. -sched colab.labeler+wash.selector+colab.governor; omitted allocator/selector default to linux")
+	return nil
+}
+
+// describeSpec prints how a scenario-grammar spec parses: canonical form,
+// per-term modifiers and the app-by-app expansion.
+func describeSpec(stdout io.Writer, input string) error {
+	spec, err := colab.ParseScenario(input)
+	if err != nil {
+		return err
+	}
+	system := "closed (all apps admitted at t=0)"
+	if spec.Open() {
+		system = "open (apps arrive over time)"
+	}
+	fmt.Fprintf(stdout, "spec      %s\ncanonical %s\nsystem    %s\napps      %d\n",
+		input, spec.Canonical(), system, spec.NumApps())
+	appID := 0
+	for ti, term := range spec.Terms {
+		src := term.Source
+		if src == "" {
+			src = "-"
+		}
+		mods := ""
+		if term.HasSeed {
+			mods += fmt.Sprintf(" seed=%d", term.Seed)
+		}
+		if term.Arrival.Kind != colab.ArriveClosed {
+			mods += fmt.Sprintf(" arrive=%s", term.Arrival)
+		}
+		if mods == "" {
+			mods = " (unmodified)"
+		}
+		fmt.Fprintf(stdout, "term %d: source=%s%s\n", ti+1, src, mods)
+		for _, a := range term.Apps {
+			fmt.Fprintf(stdout, "  app %-3d %s:%d\n", appID, a.Bench, a.Threads)
+			appID++
+		}
+	}
 	return nil
 }

@@ -31,6 +31,43 @@ func TestRunDescribeTriGear(t *testing.T) {
 	}
 }
 
+// The inventory lists the workload registries, and -describe takes any
+// scenario-grammar spec.
+func TestRunListsWorkloadRegistries(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(nil, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"registered benchmarks", "registered scenarios",
+		"water_spatial", "Comp-4", "@arrive=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunDescribeSpec(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-describe", "Sync-2@seed=7+ferret:4@arrive=poisson(5ms)"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"canonical Sync-2@seed=7+ferret:4@arrive=poisson(5ms)",
+		"open (apps arrive over time)",
+		"source=Sync-2 seed=7",
+		"arrive=poisson(5ms)",
+		"dedup:9", "fluidanimate:9", "ferret:4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if err := run([]string{"-describe", "nosuchbench"}, &out, &errb); err == nil {

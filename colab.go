@@ -184,23 +184,32 @@ func NewTieredConfig(tiers []Tier, counts []int, bigFirst bool) Config {
 // (little+medium+big, all with DVFS ladders) in ascending capacity order.
 func TriGearTiers() []Tier { return cpu.TriGearTiers() }
 
-// Benchmarks returns the fifteen Table 3 benchmark generators.
+// Benchmarks returns the fifteen Table 3 benchmark generators (the fixed
+// paper set; RegisteredBenchmarks includes user registrations).
 func Benchmarks() []Benchmark { return workload.All() }
 
 // Compositions returns the 26 Table 4 multi-programmed workloads.
 func Compositions() []Composition { return workload.Compositions() }
 
-// BuildWorkload instantiates a Table 4 composition by index ("Sync-2",
-// "Rand-7", ...). Each call yields fresh threads; a workload is single-use.
-func BuildWorkload(index string, seed uint64) (*Workload, error) {
-	comp, ok := workload.CompositionByIndex(index)
-	if !ok {
-		return nil, fmt.Errorf("colab: unknown workload %q", index)
+// BuildWorkload instantiates a workload from a registered scenario name (a
+// Table 4 index like "Sync-2", or anything from RegisterScenario) or a
+// scenario-grammar spec ("ferret:4+bodytrack:8", "Sync-2@seed=7",
+// "ferret:4@arrive=poisson(5ms)"). Unknown names error with the registered
+// inventories. Each call yields fresh threads; a workload is single-use.
+func BuildWorkload(spec string, seed uint64) (*Workload, error) {
+	s, err := workload.ResolveSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("colab: %w", err)
 	}
-	return comp.Build(seed)
+	w, err := s.Build(seed)
+	if err != nil {
+		return nil, fmt.Errorf("colab: %w", err)
+	}
+	return w, nil
 }
 
 // BuildBenchmark instantiates one benchmark alone (the Figure 4 setting).
+// Unknown names error with the full registered-benchmark list.
 func BuildBenchmark(name string, threads int, seed uint64) (*Workload, error) {
 	return workload.SingleProgram(name, threads, seed)
 }

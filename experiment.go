@@ -2,10 +2,10 @@ package colab
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
 	"text/tabwriter"
 
 	"colab/internal/experiment"
@@ -58,10 +58,14 @@ func NewExperiment(opts ...ExperimentOption) *Experiment {
 	return e
 }
 
-// WithWorkloads adds Table 4 composition indexes ("Sync-2", "Rand-7", ...)
-// to the sweep. Repeatable; at least one workload is required.
-func WithWorkloads(indexes ...string) ExperimentOption {
-	return func(e *Experiment) { e.workloads = append(e.workloads, indexes...) }
+// WithWorkloads adds workload scenarios to the sweep: registered scenario
+// names (the Table 4 indexes "Sync-2", "Rand-7", ... and anything from
+// RegisterScenario) or scenario-grammar specs ("ferret:4+bodytrack:8",
+// "Sync-2@seed=7", "ferret:4@arrive=poisson(5ms)"). Open-system scenarios
+// score each app's turnaround from its own arrival time. Repeatable; at
+// least one workload is required.
+func WithWorkloads(specs ...string) ExperimentOption {
+	return func(e *Experiment) { e.workloads = append(e.workloads, specs...) }
 }
 
 // WithMachine adds one machine shape to the sweep. Repeatable.
@@ -149,13 +153,13 @@ func (e *Experiment) Run(ctx context.Context) (*ExperimentResults, error) {
 	if len(e.workloads) == 0 {
 		return nil, fmt.Errorf("colab: experiment has no workloads (use WithWorkloads)")
 	}
-	comps := make([]workload.Composition, 0, len(e.workloads))
+	specs := make([]workload.Spec, 0, len(e.workloads))
 	for _, idx := range e.workloads {
-		comp, ok := workload.CompositionByIndex(idx)
-		if !ok {
-			return nil, fmt.Errorf("colab: unknown workload %q", idx)
+		spec, err := workload.ResolveSpec(idx)
+		if err != nil {
+			return nil, fmt.Errorf("colab: %w", err)
 		}
-		comps = append(comps, comp)
+		specs = append(specs, spec)
 	}
 	machines := e.machines
 	if len(machines) == 0 {
@@ -170,7 +174,7 @@ func (e *Experiment) Run(ctx context.Context) (*ExperimentResults, error) {
 		seeds = []uint64{1}
 	}
 	b := &experiment.Batch{
-		Workloads: comps,
+		Scenarios: specs,
 		Configs:   machines,
 		Policies:  policies,
 		Seeds:     seeds,
@@ -230,21 +234,25 @@ func (r *ExperimentResults) Normalized(refPolicy string) (*ExperimentResults, er
 
 // WriteCSV writes the cells as CSV at full float precision. The bytes are
 // deterministic for a given session spec, independent of worker count.
+// Fields containing commas or quotes (scenario-grammar workload names like
+// "...uniform(0ns,40ms)") are quoted per RFC 4180; plain names stay bare.
 func (r *ExperimentResults) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "workload,machine,policy,seed,h_antt,h_stp\n"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "machine", "policy", "seed", "h_antt", "h_stp"}); err != nil {
 		return err
 	}
 	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range r.Cells {
-		row := strings.Join([]string{
+		row := []string{
 			c.Run.Workload, c.Run.Machine, c.Run.Policy,
 			strconv.FormatUint(c.Run.Seed, 10), ff(c.Score.HANTT), ff(c.Score.HSTP),
-		}, ",")
-		if _, err := io.WriteString(w, row+"\n"); err != nil {
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteTable writes the cells as an aligned human-readable table.

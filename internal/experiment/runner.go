@@ -132,44 +132,52 @@ func (r *Runner) runCtx(ctx context.Context, cfg cpu.Config, kind string, w *tas
 }
 
 // ---------------------------------------------------------------------------
-// Baselines: each app of a composition alone on the all-big variant.
+// Baselines: each app of a scenario alone on the all-big variant.
 
-// appAlone rebuilds the composition and isolates app appIdx, preserving the
-// exact thread programs/profiles the app has inside the mix.
-func appAlone(comp workload.Composition, appIdx int, seed uint64) (*task.Workload, error) {
-	w, err := comp.Build(seed)
+// specAlone rebuilds the scenario and isolates app appIdx, preserving the
+// exact thread programs/profiles the app has inside the mix. The isolated
+// app runs closed (arrival cleared): the baseline is the app alone with
+// the machine to itself from time zero, which open-system turnarounds —
+// measured from each app's own arrival — are compared against.
+func specAlone(spec workload.Spec, appIdx int, seed uint64) (*task.Workload, error) {
+	w, err := spec.Build(seed)
 	if err != nil {
 		return nil, err
 	}
 	if appIdx < 0 || appIdx >= len(w.Apps) {
-		return nil, fmt.Errorf("experiment: app index %d out of range for %s", appIdx, comp.Index)
+		return nil, fmt.Errorf("experiment: app index %d out of range for %s", appIdx, spec.Name)
 	}
 	app := w.Apps[appIdx]
-	return &task.Workload{Name: comp.Index + "/" + app.Name, Apps: []*task.App{app}}, nil
+	app.Arrival = 0
+	return &task.Workload{Name: spec.Name + "/" + app.Name, Apps: []*task.App{app}}, nil
 }
 
-// baselineBig returns (cached) the turnaround of composition app appIdx
-// running alone on an all-big machine with the same core count as cfg.
+// baselineBig is baselineBigCtx for Table 4 compositions (the trigear and
+// OPP-sweep tables read baselines directly).
 func (r *Runner) baselineBig(comp workload.Composition, appIdx int, cfg cpu.Config) (sim.Time, error) {
-	return r.baselineBigCtx(context.Background(), comp, appIdx, cfg)
+	return r.baselineBigCtx(context.Background(), comp.Spec(), appIdx, cfg)
 }
 
-func (r *Runner) baselineBigCtx(ctx context.Context, comp workload.Composition, appIdx int, cfg cpu.Config) (sim.Time, error) {
+// baselineBigCtx returns (cached) the turnaround of scenario app appIdx
+// running alone on an all-big machine with the same core count as cfg.
+// The cache key uses the closed canonical form, so arrival variants of
+// one mix share their baselines.
+func (r *Runner) baselineBigCtx(ctx context.Context, spec workload.Spec, appIdx int, cfg cpu.Config) (sim.Time, error) {
 	n := cfg.NumCores()
-	key := fmt.Sprintf("%s|%d|%d|%d", comp.Index, appIdx, n, r.Seed)
+	key := fmt.Sprintf("%s|%d|%d|%d", spec.Closed().Canonical(), appIdx, n, r.Seed)
 	r.mu.Lock()
 	if v, ok := r.baselines[key]; ok {
 		r.mu.Unlock()
 		return v, nil
 	}
 	r.mu.Unlock()
-	w, err := appAlone(comp, appIdx, r.Seed)
+	w, err := specAlone(spec, appIdx, r.Seed)
 	if err != nil {
 		return 0, err
 	}
 	res, err := r.runCtx(ctx, cpu.NewSymmetric(cpu.Big, n), SchedLinux, w, nil)
 	if err != nil {
-		return 0, fmt.Errorf("experiment: baseline %s app %d: %w", comp.Index, appIdx, err)
+		return 0, fmt.Errorf("experiment: baseline %s app %d: %w", spec.Name, appIdx, err)
 	}
 	v := res.Apps[0].Turnaround
 	r.mu.Lock()
@@ -184,7 +192,15 @@ func (r *Runner) baselineBigCtx(ctx context.Context, comp workload.Composition, 
 // MixScore returns the H_ANTT / H_STP of one (workload, config, scheduler)
 // cell, averaged over the two core orders, memoised.
 func (r *Runner) MixScore(comp workload.Composition, cfg cpu.Config, kind string) (metrics.MixScore, error) {
-	return r.mixScore(context.Background(), comp, cfg, kind, nil)
+	return r.specScore(context.Background(), comp.Spec(), cfg, kind, nil)
+}
+
+// ScenarioScore is MixScore for a grammar/registry scenario spec: the
+// auto-baselined H_ANTT / H_STP of one (scenario, config, scheduler) cell,
+// averaged over the two core orders, memoised. Open-system scenarios score
+// each app's turnaround from its own arrival time.
+func (r *Runner) ScenarioScore(spec workload.Spec, cfg cpu.Config, kind string) (metrics.MixScore, error) {
+	return r.specScore(context.Background(), spec, cfg, kind, nil)
 }
 
 // configKey fingerprints a machine for the memo cache. Config.Name alone
@@ -195,12 +211,12 @@ func configKey(cfg cpu.Config) string {
 	return fmt.Sprintf("%s#%v#%v", cfg.Name, cfg.Kinds, cfg.Tiers())
 }
 
-// mixScore computes (or returns memoised) one cell. A non-nil tracer
+// specScore computes (or returns memoised) one cell. A non-nil tracer
 // receives every scheduling event of the two mix runs (baseline runs are
 // not traced) and disables memoisation for the cell, so the events always
 // correspond to a real execution.
-func (r *Runner) mixScore(ctx context.Context, comp workload.Composition, cfg cpu.Config, kind string, tracer func(bigFirst bool, ev kernel.TraceEvent)) (metrics.MixScore, error) {
-	key := fmt.Sprintf("%s|%s|%s|%d", comp.Index, configKey(cfg), kind, r.Seed)
+func (r *Runner) specScore(ctx context.Context, spec workload.Spec, cfg cpu.Config, kind string, tracer func(bigFirst bool, ev kernel.TraceEvent)) (metrics.MixScore, error) {
+	key := fmt.Sprintf("%s|%s|%s|%s|%d", spec.Name, spec.Canonical(), configKey(cfg), kind, r.Seed)
 	if tracer == nil {
 		r.mu.Lock()
 		if v, ok := r.mixes[key]; ok {
@@ -210,9 +226,9 @@ func (r *Runner) mixScore(ctx context.Context, comp workload.Composition, cfg cp
 		r.mu.Unlock()
 	}
 
-	bases := make([]sim.Time, len(comp.Parts))
-	for i := range comp.Parts {
-		b, err := r.baselineBigCtx(ctx, comp, i, cfg)
+	bases := make([]sim.Time, spec.NumApps())
+	for i := range bases {
+		b, err := r.baselineBigCtx(ctx, spec, i, cfg)
 		if err != nil {
 			return metrics.MixScore{}, err
 		}
@@ -222,7 +238,7 @@ func (r *Runner) mixScore(ctx context.Context, comp workload.Composition, cfg cp
 	orders := []bool{true, false} // big-first, little-first (§5.1)
 	for _, bigFirst := range orders {
 		variant := cfg.Ordered(bigFirst)
-		w, err := comp.Build(r.Seed)
+		w, err := spec.Build(r.Seed)
 		if err != nil {
 			return metrics.MixScore{}, err
 		}
@@ -233,7 +249,7 @@ func (r *Runner) mixScore(ctx context.Context, comp workload.Composition, cfg cp
 		}
 		res, err := r.runCtx(ctx, variant, kind, w, tr)
 		if err != nil {
-			return metrics.MixScore{}, fmt.Errorf("experiment: %s on %s under %s: %w", comp.Index, variant.Name, kind, err)
+			return metrics.MixScore{}, fmt.Errorf("experiment: %s on %s under %s: %w", spec.Name, variant.Name, kind, err)
 		}
 		score, err := metrics.Score(res, func(i int, _ kernel.AppResult) sim.Time { return bases[i] })
 		if err != nil {

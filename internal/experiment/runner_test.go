@@ -86,7 +86,7 @@ func TestAppAlonePreservesThePrograms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alone, err := appAlone(comp, 1, 9)
+	alone, err := specAlone(comp.Spec(), 1, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestAppAlonePreservesThePrograms(t *testing.T) {
 			t.Fatalf("thread %d work differs between mix and alone build", i)
 		}
 	}
-	if _, err := appAlone(comp, 9, 9); err == nil {
+	if _, err := specAlone(comp.Spec(), 9, 9); err == nil {
 		t.Fatalf("out-of-range app index must error")
 	}
 }

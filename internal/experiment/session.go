@@ -43,8 +43,15 @@ type BatchCell struct {
 // innermost) and every cell's value is computed by the same memoised
 // single-cell path the legacy Runner uses.
 type Batch struct {
-	// Workloads are the Table 4 compositions to run (at least one).
+	// Workloads are Table 4 compositions to run (closed-system; kept as
+	// the typed composition surface).
 	Workloads []workload.Composition
+	// Scenarios are grammar/registry scenario specs to run; they join
+	// Workloads in the cross-product. A converted composition
+	// (Composition.Spec) and the composition itself run byte-identically,
+	// and open-system specs (with arrival processes) score each app from
+	// its own arrival time. At least one workload or scenario is required.
+	Scenarios []workload.Spec
 	// Configs are the machine shapes to run on (at least one).
 	Configs []cpu.Config
 	// Policies are registry names (built-in or user-registered).
@@ -77,7 +84,7 @@ type Batch struct {
 }
 
 func (b *Batch) validate() error {
-	if len(b.Workloads) == 0 {
+	if len(b.Workloads) == 0 && len(b.Scenarios) == 0 {
 		return fmt.Errorf("experiment: batch has no workloads")
 	}
 	if len(b.Configs) == 0 {
@@ -161,20 +168,26 @@ func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
 		speedup = model.ThreadPredictor()
 	}
 
+	specs := make([]workload.Spec, 0, len(b.Workloads)+len(b.Scenarios))
+	for _, comp := range b.Workloads {
+		specs = append(specs, comp.Spec())
+	}
+	specs = append(specs, b.Scenarios...)
+
 	type job struct {
 		rn   *Runner
-		comp workload.Composition
+		spec workload.Spec
 		cfg  cpu.Config
 		key  BatchKey
 	}
 	var jobs []job
 	for _, seed := range b.Seeds {
 		rn := b.runnerFor(seed, speedup)
-		for _, comp := range b.Workloads {
+		for _, spec := range specs {
 			for _, cfg := range b.Configs {
 				for _, kind := range b.Policies {
-					jobs = append(jobs, job{rn, comp, cfg,
-						BatchKey{Workload: comp.Index, Config: cfg.Name, Policy: kind, Seed: seed}})
+					jobs = append(jobs, job{rn, spec, cfg,
+						BatchKey{Workload: spec.Name, Config: cfg.Name, Policy: kind, Seed: seed}})
 				}
 			}
 		}
@@ -220,7 +233,7 @@ func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
 				if b.Tracer != nil {
 					tracer = func(bigFirst bool, ev kernel.TraceEvent) { b.Tracer(j.key, bigFirst, ev) }
 				}
-				score, err := j.rn.mixScore(runCtx, j.comp, j.cfg, j.key.Policy, tracer)
+				score, err := j.rn.specScore(runCtx, j.spec, j.cfg, j.key.Policy, tracer)
 				if err != nil {
 					fail(err)
 					return

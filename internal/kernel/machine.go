@@ -83,6 +83,9 @@ func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params
 		if len(a.Threads) == 0 {
 			return nil, fmt.Errorf("kernel: app %q has no threads", a.Name)
 		}
+		if a.Arrival < 0 {
+			return nil, fmt.Errorf("kernel: app %q has negative arrival %v", a.Name, a.Arrival)
+		}
 		for _, t := range a.Threads {
 			if t.State != task.New {
 				return nil, fmt.Errorf("kernel: thread %v reused (state %v); regenerate the workload", t, t.State)
@@ -154,9 +157,10 @@ func (m *Machine) KickIdle() {
 	}
 }
 
-// Run admits all applications at time zero, drives the simulation to
-// completion and returns the result. It fails when the event budget is
-// exhausted or the system deadlocks (threads alive with no pending events).
+// Run admits applications (at time zero, or at their App.Arrival times for
+// open-system workloads), drives the simulation to completion and returns
+// the result. It fails when the event budget is exhausted or the system
+// deadlocks (threads alive with no pending events).
 func (m *Machine) Run() (*Result, error) {
 	return m.RunContext(context.Background())
 }
@@ -173,14 +177,23 @@ const ctxCheckInterval = 16384
 // chunked loop — event order, timestamps and results are identical to Run.
 func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	m.sched.Start(m)
+	var late []*task.App
 	for _, a := range m.workload.Apps {
+		if a.Arrival > 0 {
+			late = append(late, a)
+			continue
+		}
 		a.StartTime = 0
+		m.emit(TraceAdmit, -1, a.Name)
 		for _, t := range a.Threads {
 			m.sched.Admit(t)
 		}
 	}
 	// Admit threads: process leading sync ops; enqueue the runnable ones.
 	for _, t := range m.workload.Threads() {
+		if t.App.Arrival > 0 {
+			continue
+		}
 		switch m.advance(t) {
 		case statusDone:
 			m.finishThread(t)
@@ -192,6 +205,14 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	}
 	for _, c := range m.cores {
 		m.resched(c)
+	}
+	// Open-system arrivals: each remaining app gets a timestamped admission
+	// event. Until it fires, the app's threads stay New and invisible to the
+	// policy; the pending event keeps the engine alive, so a quiet machine
+	// waits for the arrival instead of reporting deadlock.
+	for _, a := range late {
+		a := a
+		m.eng.After(a.Arrival, func() { m.admitApp(a) })
 	}
 	remaining := m.params.MaxEvents
 	for !m.done && remaining > 0 {
@@ -219,6 +240,32 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 			m.params.MaxEvents, m.workload.Name, m.sched.Name(), m.eng.Now())
 	}
 	return m.buildResult(), nil
+}
+
+// admitApp introduces one open-system app at its arrival time: the policy
+// sees every thread (state New) before the first Enqueue, exactly like the
+// time-zero admission, and runnable threads then enter as wake-ups so they
+// may preempt like any other awakened work. App turnaround is measured from
+// this instant (StartTime = arrival).
+func (m *Machine) admitApp(a *task.App) {
+	if m.done {
+		return
+	}
+	a.StartTime = m.eng.Now()
+	m.emit(TraceAdmit, -1, a.Name)
+	for _, t := range a.Threads {
+		m.sched.Admit(t)
+	}
+	for _, t := range a.Threads {
+		switch m.advance(t) {
+		case statusDone:
+			m.finishThread(t)
+		case statusBlocked:
+			// Blocked at birth (e.g. pipeline consumer on an empty queue).
+		case statusCompute:
+			m.makeReady(t, true)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,9 @@ type AppResult struct {
 	Name       string
 	AppID      int
 	NumThreads int
+	// Arrival is when the app was admitted (zero for closed-system apps).
+	Arrival sim.Time
+	// Turnaround is completion time minus Arrival.
 	Turnaround sim.Time
 }
 
@@ -80,6 +83,7 @@ func (m *Machine) buildResult() *Result {
 			Name:       a.Name,
 			AppID:      a.ID,
 			NumThreads: a.NumThreads(),
+			Arrival:    a.StartTime,
 			Turnaround: a.TurnaroundTime(),
 		})
 	}
@@ -160,12 +164,26 @@ func (r *Result) Makespan() sim.Time {
 func (r *Result) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "workload %s | scheduler %s | config %s | simulated %v | %d events\n",
 		r.Workload, r.Sched, r.Config, r.EndTime, r.Events)
+	open := false
+	for _, a := range r.Apps {
+		if a.Arrival > 0 {
+			open = true
+		}
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "app\tthreads\tturnaround")
+	if open {
+		fmt.Fprintln(tw, "app\tthreads\tarrival\tturnaround")
+	} else {
+		fmt.Fprintln(tw, "app\tthreads\tturnaround")
+	}
 	apps := append([]AppResult(nil), r.Apps...)
 	sort.Slice(apps, func(i, j int) bool { return apps[i].AppID < apps[j].AppID })
 	for _, a := range apps {
-		fmt.Fprintf(tw, "%s\t%d\t%v\n", a.Name, a.NumThreads, a.Turnaround)
+		if open {
+			fmt.Fprintf(tw, "%s\t%d\t%v\t%v\n", a.Name, a.NumThreads, a.Arrival, a.Turnaround)
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\t%v\n", a.Name, a.NumThreads, a.Turnaround)
+		}
 	}
 	tw.Flush()
 	fmt.Fprintf(w, "switches %d, migrations %d, preemptions %d\n",

@@ -12,6 +12,7 @@ type TraceKind string
 
 // Trace event kinds.
 const (
+	TraceAdmit    TraceKind = "admit"    // application admitted to the machine
 	TraceDispatch TraceKind = "dispatch" // thread starts running on a core
 	TraceMigrate  TraceKind = "migrate"  // dispatch on a different core than last time
 	TraceRotate   TraceKind = "rotate"   // slice expired, thread re-queued

@@ -22,8 +22,14 @@ func TestFairnessWindowPreventsStarvation(t *testing.T) {
 		rng := mathx.NewRNG(5)
 		ferret, _ := workload.ByName("ferret")
 		swap, _ := workload.ByName("swaptions")
-		a := ferret.Instantiate(0, 8, rng)
-		b := swap.Instantiate(1, 4, rng)
+		a, err := ferret.Instantiate(0, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := swap.Instantiate(1, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		w.Apps = []*task.App{a, b}
 		return w
 	}

@@ -127,6 +127,13 @@ type App struct {
 	Threads []*Thread
 	Queues  []QueueSpec
 
+	// Arrival is when the app enters the system. Zero (the closed-system
+	// default) admits the app at simulation start; a positive time makes the
+	// kernel admit it through a timestamped admission event, modelling an
+	// open system where work arrives while earlier apps run. Turnaround is
+	// measured from Arrival, not from time zero.
+	Arrival sim.Time
+
 	// Runtime results, filled by the kernel.
 	StartTime  sim.Time
 	FinishTime sim.Time
@@ -247,6 +254,17 @@ func (t *Thread) String() string {
 type Workload struct {
 	Name string
 	Apps []*App
+}
+
+// Open reports whether any app arrives after time zero (an open-system
+// workload).
+func (w *Workload) Open() bool {
+	for _, a := range w.Apps {
+		if a.Arrival > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // NumThreads returns the total thread count across apps.

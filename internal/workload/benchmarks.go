@@ -6,99 +6,102 @@ import (
 	"colab/internal/task"
 )
 
-// All returns the fifteen benchmarks of Table 3 in paper order, with the
-// paper's synchronisation-rate and communication/computation categories.
-func All() []Benchmark {
+// builtinBenchmarks is the Table 3 set in paper order, with the paper's
+// synchronisation-rate and communication/computation categories. All of the
+// generators are expressed through the public Builder surface — they are
+// reference users of the same authoring API custom benchmarks register
+// against.
+func builtinBenchmarks() []Benchmark {
 	return []Benchmark{
 		{
 			Name: "blackscholes", Suite: "parsec",
 			SyncRate: RateLow, CommComp: RateHigh,
 			DefaultThreads: 4,
-			gen:            genBlackscholes,
+			Gen:            genBlackscholes,
 		},
 		{
 			Name: "bodytrack", Suite: "parsec",
 			SyncRate: RateMedium, CommComp: RateHigh,
 			DefaultThreads: 4,
-			gen:            genBodytrack,
+			Gen:            genBodytrack,
 		},
 		{
 			Name: "dedup", Suite: "parsec",
 			SyncRate: RateMedium, CommComp: RateHigh,
 			DefaultThreads: 4,
-			gen:            genDedup,
+			Gen:            genDedup,
 		},
 		{
 			Name: "ferret", Suite: "parsec",
 			SyncRate: RateHigh, CommComp: RateMedium,
 			DefaultThreads: 4,
-			gen:            genFerret,
+			Gen:            genFerret,
 		},
 		{
 			Name: "fluidanimate", Suite: "parsec",
 			SyncRate: RateVeryHigh, CommComp: RateLow,
 			DefaultThreads: 4,
-			gen:            genFluidanimate,
+			Gen:            genFluidanimate,
 		},
 		{
 			Name: "freqmine", Suite: "parsec",
 			SyncRate: RateHigh, CommComp: RateHigh,
 			DefaultThreads: 4,
-			gen:            genFreqmine,
+			Gen:            genFreqmine,
 		},
 		{
 			Name: "swaptions", Suite: "parsec",
 			SyncRate: RateLow, CommComp: RateLow,
 			DefaultThreads: 4,
-			gen:            genSwaptions,
+			Gen:            genSwaptions,
 		},
 		{
 			Name: "radix", Suite: "splash2",
 			SyncRate: RateLow, CommComp: RateHigh,
 			DefaultThreads: 4,
-			gen:            genRadix,
+			Gen:            genRadix,
 		},
 		{
 			Name: "lu_ncb", Suite: "splash2",
 			SyncRate: RateLow, CommComp: RateLow,
 			DefaultThreads: 4,
-			gen:            genLuNCB,
+			Gen:            genLuNCB,
 		},
 		{
 			Name: "lu_cb", Suite: "splash2",
 			SyncRate: RateLow, CommComp: RateLow,
 			DefaultThreads: 4,
-			gen:            genLuCB,
+			Gen:            genLuCB,
 		},
 		{
 			Name: "ocean_cp", Suite: "splash2",
 			SyncRate: RateLow, CommComp: RateLow,
 			DefaultThreads: 4,
-			gen:            genOceanCP,
+			Gen:            genOceanCP,
 		},
 		{
 			Name: "water_nsquared", Suite: "splash2",
 			SyncRate: RateMedium, CommComp: RateMedium,
 			MaxThreads: 2, DefaultThreads: 2,
-			gen: genWaterNsquared,
+			Gen: genWaterNsquared,
 		},
 		{
 			Name: "water_spatial", Suite: "splash2",
 			SyncRate: RateLow, CommComp: RateLow,
 			MaxThreads: 2, DefaultThreads: 2,
-			gen: genWaterSpatial,
+			Gen: genWaterSpatial,
 		},
 		{
 			Name: "fmm", Suite: "splash2",
 			SyncRate: RateMedium, CommComp: RateLow,
 			MaxThreads: 2, DefaultThreads: 2,
-			gen: genFMM,
+			Gen: genFMM,
 		},
 		{
 			Name: "fft", Suite: "splash2",
 			SyncRate: RateLow, CommComp: RateHigh,
 			DefaultThreads: 4,
-			gen:            genFFT,
+			Gen:            genFFT,
 		},
 	}
 }
@@ -108,129 +111,131 @@ func All() []Benchmark {
 // blackscholes: embarrassingly parallel option pricing over a few
 // barrier-separated sweeps; high-ILP FP kernels make every thread strongly
 // core-sensitive.
-func genBlackscholes(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:    6,
-		phaseWork: 50 * ms,
-		imbalance: 0.08,
-		profile:   computeProfile,
+func genBlackscholes(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:    6,
+		PhaseWork: 50 * ms,
+		Imbalance: 0.08,
+		Profile:   ComputeProfile,
 	})
 }
 
 // bodytrack: per-frame fork/join around a serial tracking step on the main
 // thread — the main thread is the recurring bottleneck the AMP-aware
 // schedulers should accelerate.
-func genBodytrack(ab *appBuilder, n int) {
+func genBodytrack(b *Builder, n int) {
 	const frames = 22
+	rng := b.RNG()
 	if n == 1 {
 		var ops task.Program
 		for f := 0; f < frames; f++ {
-			ops = append(ops, task.Compute{Work: ab.rng.Jitter(34*ms, 0.1)})
+			ops = append(ops, task.Compute{Work: rng.Jitter(34*ms, 0.1)})
 		}
-		ab.thread("main", branchyProfile(ab.rng), ops)
+		b.Thread("main", BranchyProfile(rng), ops)
 		return
 	}
-	barA, barB := ab.id(), ab.id()
+	barA, barB := b.NewID(), b.NewID()
 	parallelShare := 30 * ms / float64(n)
 	// Main thread: serial stage, release workers, join.
 	var main task.Program
 	for f := 0; f < frames; f++ {
 		main = append(main,
-			task.Compute{Work: ab.rng.Jitter(4*ms, 0.15)}, // serial tracking step
+			task.Compute{Work: rng.Jitter(4*ms, 0.15)}, // serial tracking step
 			task.Barrier{ID: barA, Parties: n},
-			task.Compute{Work: ab.rng.Jitter(parallelShare, 0.1)},
+			task.Compute{Work: rng.Jitter(parallelShare, 0.1)},
 			task.Barrier{ID: barB, Parties: n},
 		)
 	}
-	ab.thread("main", branchyProfile(ab.rng), main)
+	b.Thread("main", BranchyProfile(rng), main)
 	for i := 1; i < n; i++ {
 		var ops task.Program
 		for f := 0; f < frames; f++ {
 			ops = append(ops,
 				task.Barrier{ID: barA, Parties: n},
-				task.Compute{Work: ab.rng.Jitter(parallelShare, 0.1)},
+				task.Compute{Work: rng.Jitter(parallelShare, 0.1)},
 				task.Barrier{ID: barB, Parties: n},
 			)
 		}
-		ab.thread(fmt.Sprintf("w%d", i), balancedProfile(ab.rng), ops)
+		b.Thread(fmt.Sprintf("w%d", i), BalancedProfile(rng), ops)
 	}
 }
 
 // dedup: the 5-stage deduplication pipeline (fragment, refine, hash,
 // compress, reorder) over bounded queues. Stage kernels differ sharply in
 // core sensitivity, which is what makes coordinated allocation pay off.
-func genDedup(ab *appBuilder, n int) {
-	buildPipeline(ab, n, []stageSpec{
-		{name: "frag", workItem: 1.2 * ms, profile: memoryProfile},
-		{name: "refine", workItem: 2.8 * ms, profile: balancedProfile},
-		{name: "hash", workItem: 4.5 * ms, profile: computeProfile},
-		{name: "comp", workItem: 3.6 * ms, profile: computeProfile},
-		{name: "reorder", workItem: 1.4 * ms, profile: memoryProfile},
+func genDedup(b *Builder, n int) {
+	b.Pipeline(n, []PipeStage{
+		{Name: "frag", WorkItem: 1.2 * ms, Profile: MemoryProfile},
+		{Name: "refine", WorkItem: 2.8 * ms, Profile: BalancedProfile},
+		{Name: "hash", WorkItem: 4.5 * ms, Profile: ComputeProfile},
+		{Name: "comp", WorkItem: 3.6 * ms, Profile: ComputeProfile},
+		{Name: "reorder", WorkItem: 1.4 * ms, Profile: MemoryProfile},
 	}, 96, 4)
 }
 
 // ferret: the 6-stage similarity-search pipeline; the rank stage dominates
 // per-item cost (the unbalanced-stage example of §5.2, where COLAB gets its
 // largest single-program win).
-func genFerret(ab *appBuilder, n int) {
-	buildPipeline(ab, n, []stageSpec{
-		{name: "load", workItem: 0.9 * ms, profile: memoryProfile},
-		{name: "seg", workItem: 2.4 * ms, profile: balancedProfile},
-		{name: "extract", workItem: 3.2 * ms, profile: computeProfile},
-		{name: "vec", workItem: 2.6 * ms, profile: computeProfile},
-		{name: "rank", workItem: 7.5 * ms, profile: computeProfile},
-		{name: "out", workItem: 0.8 * ms, profile: memoryProfile},
+func genFerret(b *Builder, n int) {
+	b.Pipeline(n, []PipeStage{
+		{Name: "load", WorkItem: 0.9 * ms, Profile: MemoryProfile},
+		{Name: "seg", WorkItem: 2.4 * ms, Profile: BalancedProfile},
+		{Name: "extract", WorkItem: 3.2 * ms, Profile: ComputeProfile},
+		{Name: "vec", WorkItem: 2.6 * ms, Profile: ComputeProfile},
+		{Name: "rank", WorkItem: 7.5 * ms, Profile: ComputeProfile},
+		{Name: "out", WorkItem: 0.8 * ms, Profile: MemoryProfile},
 	}, 90, 4)
 }
 
 // fluidanimate: particle simulation with fine-grained cell locks — about
 // two orders of magnitude more lock acquisitions than the other PARSEC
 // apps (§5.2), hence "very high" sync rate.
-func genFluidanimate(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:     8,
-		phaseWork:  30 * ms,
-		imbalance:  0.10,
-		locksPer:   60,
-		csWork:     0.03 * ms,
-		lockSpread: 6,
-		profile:    balancedProfile,
+func genFluidanimate(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:     8,
+		PhaseWork:  30 * ms,
+		Imbalance:  0.10,
+		LocksPer:   60,
+		CSWork:     0.03 * ms,
+		LockSpread: 6,
+		Profile:    BalancedProfile,
 	})
 }
 
 // freqmine: FP-growth mining as a master/worker task queue; branchy tree
 // traversal with contended task dispatch.
-func genFreqmine(ab *appBuilder, n int) {
+func genFreqmine(b *Builder, n int) {
 	const tasks = 110
+	rng := b.RNG()
 	if n == 1 {
 		var ops task.Program
 		for i := 0; i < tasks; i++ {
-			ops = append(ops, task.Compute{Work: ab.rng.Jitter(2.6*ms, 0.5)})
+			ops = append(ops, task.Compute{Work: rng.Jitter(2.6*ms, 0.5)})
 		}
-		ab.thread("main", branchyProfile(ab.rng), ops)
+		b.Thread("main", BranchyProfile(rng), ops)
 		return
 	}
-	q := ab.queue(8)
+	q := b.Queue(8)
 	workers := n - 1
 	// Master: grows the FP-tree (serial-ish) while feeding the queue.
 	var master task.Program
 	for i := 0; i < tasks; i++ {
 		master = append(master,
-			task.Compute{Work: ab.rng.Jitter(0.5*ms, 0.4)},
+			task.Compute{Work: rng.Jitter(0.5*ms, 0.4)},
 			task.Put{ID: q},
 		)
 	}
-	ab.thread("master", branchyProfile(ab.rng), master)
+	b.Thread("master", BranchyProfile(rng), master)
 	shares := splitShares(tasks, workers)
 	for i := 0; i < workers; i++ {
 		var ops task.Program
 		for k := 0; k < shares[i]; k++ {
 			ops = append(ops,
 				task.Get{ID: q},
-				task.Compute{Work: ab.rng.Jitter(2.4*ms, 0.6)},
+				task.Compute{Work: rng.Jitter(2.4*ms, 0.6)},
 			)
 		}
-		ab.thread(fmt.Sprintf("w%d", i+1), branchyProfile(ab.rng), ops)
+		b.Thread(fmt.Sprintf("w%d", i+1), BranchyProfile(rng), ops)
 	}
 }
 
@@ -238,19 +243,20 @@ func genFreqmine(ab *appBuilder, n int) {
 // all. The heaviest thread is deliberately core-insensitive while the light
 // threads are core-sensitive — the paper's ideal-for-WASH case where COLAB
 // only matches Linux (§5.2).
-func genSwaptions(ab *appBuilder, n int) {
+func genSwaptions(b *Builder, n int) {
+	rng := b.RNG()
 	for i := 0; i < n; i++ {
 		work := 70 * ms
-		prof := computeProfile(ab.rng)
+		prof := ComputeProfile(rng)
 		if i == 0 {
 			work *= 1.6 // bottleneck-by-imbalance
-			prof = memoryProfile(ab.rng)
+			prof = MemoryProfile(rng)
 		}
 		var ops task.Program
 		for k := 0; k < 4; k++ {
-			ops = append(ops, task.Compute{Work: ab.rng.Jitter(work/4, 0.1)})
+			ops = append(ops, task.Compute{Work: rng.Jitter(work/4, 0.1)})
 		}
-		ab.thread(fmt.Sprintf("w%d", i), prof, ops)
+		b.Thread(fmt.Sprintf("w%d", i), prof, ops)
 	}
 }
 
@@ -258,89 +264,89 @@ func genSwaptions(ab *appBuilder, n int) {
 
 // radix: counting/permutation sort rounds; permutation traffic is
 // memory-bound (little speedup), with frequent barrier exchanges.
-func genRadix(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:    14,
-		phaseWork: 18 * ms,
-		imbalance: 0.08,
-		profile:   memoryProfile,
+func genRadix(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:    14,
+		PhaseWork: 18 * ms,
+		Imbalance: 0.08,
+		Profile:   MemoryProfile,
 	})
 }
 
 // lu_ncb: blocked LU without contiguous allocation — poorer locality, more
 // memory-bound, shrinking parallel sections as factorisation proceeds.
-func genLuNCB(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:    16,
-		phaseWork: 32 * ms,
-		imbalance: 0.20,
-		decay:     true,
-		profile:   memoryProfile,
+func genLuNCB(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:    16,
+		PhaseWork: 32 * ms,
+		Imbalance: 0.20,
+		Decay:     true,
+		Profile:   MemoryProfile,
 	})
 }
 
 // lu_cb: contiguous-block LU — cache-friendly compute kernels with the
 // same shrinking-phase structure.
-func genLuCB(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:    16,
-		phaseWork: 30 * ms,
-		imbalance: 0.20,
-		decay:     true,
-		profile:   computeProfile,
+func genLuCB(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:    16,
+		PhaseWork: 30 * ms,
+		Imbalance: 0.20,
+		Decay:     true,
+		Profile:   ComputeProfile,
 	})
 }
 
 // ocean_cp: red-black Gauss-Seidel time steps on grids; bandwidth-bound
 // with many short barrier-separated sweeps.
-func genOceanCP(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:    20,
-		phaseWork: 15 * ms,
-		imbalance: 0.06,
-		profile:   memoryProfile,
+func genOceanCP(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:    20,
+		PhaseWork: 15 * ms,
+		Imbalance: 0.06,
+		Profile:   MemoryProfile,
 	})
 }
 
 // water_nsquared: O(n^2) molecular dynamics with per-molecule locks each
 // step (medium sync). Limited to 2 threads under simsmall.
-func genWaterNsquared(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:     6,
-		phaseWork:  40 * ms,
-		imbalance:  0.10,
-		locksPer:   12,
-		csWork:     0.08 * ms,
-		lockSpread: 4,
-		profile:    computeProfile,
+func genWaterNsquared(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:     6,
+		PhaseWork:  40 * ms,
+		Imbalance:  0.10,
+		LocksPer:   12,
+		CSWork:     0.08 * ms,
+		LockSpread: 4,
+		Profile:    ComputeProfile,
 	})
 }
 
 // water_spatial: spatial-decomposition water — same physics, barriers only
 // (low sync). Limited to 2 threads under simsmall.
-func genWaterSpatial(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:    6,
-		phaseWork: 40 * ms,
-		imbalance: 0.12,
-		locksPer:  2,
-		csWork:    0.05 * ms,
-		profile:   computeProfile,
+func genWaterSpatial(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:    6,
+		PhaseWork: 40 * ms,
+		Imbalance: 0.12,
+		LocksPer:  2,
+		CSWork:    0.05 * ms,
+		Profile:   ComputeProfile,
 	})
 }
 
 // fmm: adaptive fast multipole — tree imbalance skews the leader thread,
 // moderate locking. Limited to 2 threads under simsmall.
-func genFMM(ab *appBuilder, n int) {
-	buildDataParallel(ab, n, dpOptions{
-		phases:     6,
-		phaseWork:  38 * ms,
-		imbalance:  0.18,
-		skewFirst:  1.35,
-		locksPer:   6,
-		csWork:     0.06 * ms,
-		lockSpread: 3,
-		profile:    balancedProfile,
+func genFMM(b *Builder, n int) {
+	b.DataParallel(n, DataParallelOptions{
+		Phases:     6,
+		PhaseWork:  38 * ms,
+		Imbalance:  0.18,
+		SkewFirst:  1.35,
+		LocksPer:   6,
+		CSWork:     0.06 * ms,
+		LockSpread: 3,
+		Profile:    BalancedProfile,
 	})
 }
 
@@ -349,27 +355,28 @@ func genFMM(ab *appBuilder, n int) {
 // between a compute-bound and a memory-bound profile, which is exactly the
 // behaviour that forces the speedup model to predict from fresh interval
 // counters rather than lifetime averages.
-func genFFT(ab *appBuilder, n int) {
-	bar := ab.id()
+func genFFT(b *Builder, n int) {
+	bar := b.NewID()
+	rng := b.RNG()
 	const steps = 5
 	for i := 0; i < n; i++ {
-		butterfly := computeProfile(ab.rng)
-		transpose := memoryProfile(ab.rng)
+		butterfly := ComputeProfile(rng)
+		transpose := MemoryProfile(rng)
 		var ops task.Program
 		for s := 0; s < steps; s++ {
 			ops = append(ops,
 				task.Phase{Profile: butterfly},
-				task.Compute{Work: ab.rng.Jitter(28*ms, 0.07)})
+				task.Compute{Work: rng.Jitter(28*ms, 0.07)})
 			if n > 1 {
 				ops = append(ops, task.Barrier{ID: bar, Parties: n})
 			}
 			ops = append(ops,
 				task.Phase{Profile: transpose},
-				task.Compute{Work: ab.rng.Jitter(14*ms, 0.07)})
+				task.Compute{Work: rng.Jitter(14*ms, 0.07)})
 			if n > 1 {
 				ops = append(ops, task.Barrier{ID: bar, Parties: n})
 			}
 		}
-		ab.thread(fmt.Sprintf("w%d", i), butterfly, ops)
+		b.Thread(fmt.Sprintf("w%d", i), butterfly, ops)
 	}
 }

@@ -54,7 +54,10 @@ func (c Composition) Build(seed uint64) (*task.Workload, error) {
 		if !ok {
 			return nil, fmt.Errorf("workload: composition %s references unknown benchmark %q", c.Index, p.Bench)
 		}
-		app := b.Instantiate(i, p.Threads, rng)
+		app, err := b.Instantiate(i, p.Threads, rng)
+		if err != nil {
+			return nil, err
+		}
 		if app.NumThreads() != p.Threads {
 			return nil, fmt.Errorf("workload: %s/%s requested %d threads, generator produced %d (cap %d)",
 				c.Index, p.Bench, p.Threads, app.NumThreads(), b.MaxThreads)

@@ -1,0 +1,415 @@
+package workload
+
+// The scenario grammar: the string form accepted everywhere a workload is
+// named (BuildWorkload, Experiment.WithWorkloads, the cmd tools).
+//
+//	spec  := term ("+" term)*
+//	term  := name [":" threads] ["*" copies] modifier*
+//	mod   := "@seed=" uint64
+//	       | "@arrive=" arrival
+//
+// name resolves against the scenario registry first (Table 4 indices and
+// user scenarios), then the benchmark registry ("ferret:4"); a benchmark
+// without ":threads" uses its DefaultThreads, and "*copies" replicates the
+// instance into that many apps (how an arrival process becomes a stream).
+// Arrival processes apply per term, to each of its apps:
+//
+//	arrival := duration                  fixed offset ("10ms")
+//	         | "fixed(" duration ")"
+//	         | "uniform(" lo "," hi ")"  each app uniform in [lo, hi)
+//	         | "poisson(" mean ")"       cumulative exponential gaps
+//	         | "trace(" d ["," d]* ")"   replayed times, k-th app at d_k
+//	                                     (count must match the app count)
+//
+// Durations are a number with an optional unit suffix: ns (default), us,
+// ms, s. Examples:
+//
+//	"ferret:4+bodytrack:8"
+//	"Sync-2@seed=7"
+//	"ferret:2*8@arrive=poisson(5ms)+blackscholes:4"
+//	"dedup:4*3@arrive=trace(0,10ms,25ms)"
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"colab/internal/sim"
+)
+
+// maxSpecThreads bounds per-app thread counts accepted by the grammar; it
+// protects against accidental (or fuzzed) million-thread scenarios while
+// staying far above every paper composition.
+const maxSpecThreads = 4096
+
+// maxSpecCopies bounds the "*copies" replication factor.
+const maxSpecCopies = 1024
+
+// ParseSpec parses a scenario string. Registered scenario names resolve
+// through the registry ("Sync-2" is a valid spec); otherwise the grammar
+// above applies. The returned spec's Name is the input's canonical form,
+// so equal scenarios share result keys regardless of spacing.
+func ParseSpec(input string) (Spec, error) {
+	s := strings.TrimSpace(input)
+	if s == "" {
+		return Spec{}, fmt.Errorf("workload: empty scenario spec")
+	}
+	parts, err := splitTop(s, '+')
+	if err != nil {
+		return Spec{}, fmt.Errorf("workload: spec %q: %w", input, err)
+	}
+	var spec Spec
+	for _, part := range parts {
+		terms, err := parseTerm(part)
+		if err != nil {
+			return Spec{}, fmt.Errorf("workload: spec %q: %w", input, err)
+		}
+		spec.Terms = append(spec.Terms, terms...)
+	}
+	spec.Name = spec.Canonical()
+	return spec, nil
+}
+
+// parseTerm parses one "+"-separated part. A reference to a registered
+// scenario whose own terms are unmodified collapses into a single term
+// (rendered by its name); a reference to a scenario that carries its own
+// modifiers inlines that scenario's terms and accepts no outer modifiers.
+func parseTerm(part string) ([]Term, error) {
+	fields, err := splitTop(part, '@')
+	if err != nil {
+		return nil, err
+	}
+	head := strings.TrimSpace(fields[0])
+	if head == "" {
+		return nil, fmt.Errorf("empty term %q", part)
+	}
+	head, copiesStr, hasCopies := strings.Cut(head, "*")
+	copies := 1
+	if hasCopies {
+		v, err := strconv.Atoi(strings.TrimSpace(copiesStr))
+		if err != nil {
+			return nil, fmt.Errorf("bad replication count %q in %q", copiesStr, part)
+		}
+		if v < 1 || v > maxSpecCopies {
+			return nil, fmt.Errorf("replication count %d in %q out of range [1, %d]", v, part, maxSpecCopies)
+		}
+		copies = v
+	}
+	name, threadsStr, hasThreads := strings.Cut(head, ":")
+	name = strings.TrimSpace(name)
+	var term Term
+	if ref, ok := ScenarioByName(name); ok {
+		if hasThreads {
+			return nil, fmt.Errorf("scenario reference %q takes no thread count", name)
+		}
+		if hasCopies {
+			return nil, fmt.Errorf("scenario reference %q takes no replication count", name)
+		}
+		plain := true
+		for _, t := range ref.Terms {
+			if t.modified() {
+				plain = false
+			}
+		}
+		if !plain {
+			if len(fields) > 1 {
+				return nil, fmt.Errorf("scenario %q carries its own modifiers and cannot be modified again", name)
+			}
+			return append([]Term(nil), ref.Terms...), nil
+		}
+		term.Source = name
+		for _, t := range ref.Terms {
+			term.Apps = append(term.Apps, t.Apps...)
+		}
+	} else if b, ok := ByName(name); ok {
+		n := b.DefaultThreads
+		if hasThreads {
+			v, err := strconv.Atoi(strings.TrimSpace(threadsStr))
+			if err != nil {
+				return nil, fmt.Errorf("bad thread count %q for benchmark %q", threadsStr, name)
+			}
+			if v < 1 || v > maxSpecThreads {
+				return nil, fmt.Errorf("thread count %d for benchmark %q out of range [1, %d]", v, name, maxSpecThreads)
+			}
+			n = v
+		}
+		for i := 0; i < copies; i++ {
+			term.Apps = append(term.Apps, AppSpec{Bench: name, Threads: n})
+		}
+	} else {
+		return nil, unknownNameError(name)
+	}
+	for _, mod := range fields[1:] {
+		key, value, ok := strings.Cut(mod, "=")
+		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+		if !ok || value == "" {
+			return nil, fmt.Errorf("bad modifier %q (want @key=value)", "@"+mod)
+		}
+		switch key {
+		case "seed":
+			if term.HasSeed {
+				return nil, fmt.Errorf("term %q sets @seed twice", part)
+			}
+			v, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad seed %q", value)
+			}
+			term.Seed, term.HasSeed = v, true
+		case "arrive":
+			if term.Arrival.Kind != ArriveClosed {
+				return nil, fmt.Errorf("term %q sets @arrive twice", part)
+			}
+			a, err := parseArrival(value)
+			if err != nil {
+				return nil, fmt.Errorf("bad arrival %q: %w", value, err)
+			}
+			term.Arrival = a
+		default:
+			return nil, fmt.Errorf("unknown modifier %q (modifiers: seed, arrive)", key)
+		}
+	}
+	return []Term{term}, nil
+}
+
+// parseArrival parses an arrival expression.
+func parseArrival(s string) (Arrival, error) {
+	fn, args, ok := splitCall(s)
+	if !ok {
+		// Bare duration: fixed offset.
+		d, err := parseDur(s)
+		if err != nil {
+			return Arrival{}, err
+		}
+		return Arrival{Kind: ArriveFixed, At: d}, nil
+	}
+	switch fn {
+	case "fixed":
+		if len(args) != 1 {
+			return Arrival{}, fmt.Errorf("fixed takes one duration, got %d args", len(args))
+		}
+		d, err := parseDur(args[0])
+		if err != nil {
+			return Arrival{}, err
+		}
+		return Arrival{Kind: ArriveFixed, At: d}, nil
+	case "uniform":
+		if len(args) != 2 {
+			return Arrival{}, fmt.Errorf("uniform takes (lo, hi), got %d args", len(args))
+		}
+		lo, err := parseDur(args[0])
+		if err != nil {
+			return Arrival{}, err
+		}
+		hi, err := parseDur(args[1])
+		if err != nil {
+			return Arrival{}, err
+		}
+		if hi < lo {
+			return Arrival{}, fmt.Errorf("uniform window [%v, %v) is inverted", lo, hi)
+		}
+		return Arrival{Kind: ArriveUniform, Lo: lo, Hi: hi}, nil
+	case "poisson":
+		if len(args) != 1 {
+			return Arrival{}, fmt.Errorf("poisson takes one mean gap, got %d args", len(args))
+		}
+		mean, err := parseDur(args[0])
+		if err != nil {
+			return Arrival{}, err
+		}
+		if mean <= 0 {
+			return Arrival{}, fmt.Errorf("poisson mean gap must be positive, got %v", mean)
+		}
+		return Arrival{Kind: ArrivePoisson, Mean: mean}, nil
+	case "trace":
+		if len(args) == 0 {
+			return Arrival{}, fmt.Errorf("trace needs at least one time")
+		}
+		times := make([]sim.Time, len(args))
+		for i, a := range args {
+			d, err := parseDur(a)
+			if err != nil {
+				return Arrival{}, err
+			}
+			times[i] = d
+		}
+		return Arrival{Kind: ArriveTrace, Times: times}, nil
+	default:
+		return Arrival{}, fmt.Errorf("unknown arrival process %q (want a duration, fixed, uniform, poisson or trace)", fn)
+	}
+}
+
+// splitCall recognises "fn(a, b, ...)" forms; ok is false for anything
+// else (bare durations).
+func splitCall(s string) (fn string, args []string, ok bool) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, false
+	}
+	fn = strings.TrimSpace(s[:open])
+	inner := s[open+1 : len(s)-1]
+	if strings.ContainsAny(inner, "()") {
+		return "", nil, false
+	}
+	if strings.TrimSpace(inner) == "" {
+		return fn, nil, true
+	}
+	for _, a := range strings.Split(inner, ",") {
+		args = append(args, strings.TrimSpace(a))
+	}
+	return fn, args, true
+}
+
+// splitTop splits s on sep outside parentheses.
+func splitTop(s string, sep byte) ([]string, error) {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ')' at byte %d", i)
+			}
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '('")
+	}
+	return append(out, s[start:]), nil
+}
+
+// parseDur parses a simulated duration: a non-negative number with an
+// optional unit suffix (ns when omitted).
+func parseDur(s string) (sim.Time, error) {
+	s = strings.TrimSpace(s)
+	unit := float64(1)
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		s, unit = s[:len(s)-2], float64(sim.Microsecond)
+	case strings.HasSuffix(s, "µs"):
+		s, unit = strings.TrimSuffix(s, "µs"), float64(sim.Microsecond)
+	case strings.HasSuffix(s, "ms"):
+		s, unit = s[:len(s)-2], float64(sim.Millisecond)
+	case strings.HasSuffix(s, "s"):
+		s, unit = s[:len(s)-1], float64(sim.Second)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	ns := v * unit
+	if ns > math.MaxInt64/4 {
+		return 0, fmt.Errorf("duration %q too large", s)
+	}
+	return sim.Time(ns), nil
+}
+
+// formatDur renders a duration in the largest exact unit.
+func formatDur(t sim.Time) string {
+	switch {
+	case t != 0 && t%sim.Second == 0:
+		return fmt.Sprintf("%ds", t/sim.Second)
+	case t != 0 && t%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", t/sim.Millisecond)
+	case t != 0 && t%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", t/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", t)
+	}
+}
+
+// String renders the arrival expression in grammar form.
+func (a Arrival) String() string {
+	switch a.Kind {
+	case ArriveClosed:
+		return ""
+	case ArriveFixed:
+		return formatDur(a.At)
+	case ArriveUniform:
+		return fmt.Sprintf("uniform(%s,%s)", formatDur(a.Lo), formatDur(a.Hi))
+	case ArrivePoisson:
+		return fmt.Sprintf("poisson(%s)", formatDur(a.Mean))
+	case ArriveTrace:
+		parts := make([]string, len(a.Times))
+		for i, t := range a.Times {
+			parts[i] = formatDur(t)
+		}
+		return fmt.Sprintf("trace(%s)", strings.Join(parts, ","))
+	default:
+		return string(a.Kind)
+	}
+}
+
+// Canonical renders the spec in normalised grammar form: parsing the
+// result yields an equal spec, and equal specs render identically.
+func (s Spec) Canonical() string {
+	var parts []string
+	for _, t := range s.Terms {
+		var sb strings.Builder
+		appStr := func(a AppSpec) string {
+			if a.Threads <= 0 {
+				return a.Bench
+			}
+			return fmt.Sprintf("%s:%d", a.Bench, a.Threads)
+		}
+		uniform := len(t.Apps) > 1
+		for _, a := range t.Apps {
+			if a != t.Apps[0] {
+				uniform = false
+			}
+		}
+		switch {
+		case t.Source != "":
+			sb.WriteString(t.Source)
+		case len(t.Apps) == 1:
+			sb.WriteString(appStr(t.Apps[0]))
+		case uniform:
+			// Replicated benchmark instance ("*copies").
+			fmt.Fprintf(&sb, "%s*%d", appStr(t.Apps[0]), len(t.Apps))
+		default:
+			// Unreachable from the grammar (anonymous mixed-app terms can
+			// only be built programmatically): render the app list.
+			var names []string
+			for _, a := range t.Apps {
+				names = append(names, appStr(a))
+			}
+			sb.WriteString(strings.Join(names, "+"))
+		}
+		if t.HasSeed {
+			fmt.Fprintf(&sb, "@seed=%d", t.Seed)
+		}
+		if t.Arrival.Kind != ArriveClosed {
+			fmt.Fprintf(&sb, "@arrive=%s", t.Arrival)
+		}
+		parts = append(parts, sb.String())
+	}
+	return strings.Join(parts, "+")
+}
+
+// String implements fmt.Stringer as the canonical grammar form.
+func (s Spec) String() string { return s.Canonical() }
+
+// ResolveSpec resolves a workload name the way every consumer does: a
+// registered scenario name resolves through the registry (keeping its
+// registered name as the result key), anything else parses as a grammar
+// spec. Unknown names error with the registered inventories.
+func ResolveSpec(name string) (Spec, error) {
+	trimmed := strings.TrimSpace(name)
+	if s, ok := ScenarioByName(trimmed); ok {
+		return s, nil
+	}
+	return ParseSpec(name)
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"colab/internal/sim"
+)
+
+func TestParseSpecForms(t *testing.T) {
+	cases := []struct {
+		in        string
+		canonical string
+		apps      int
+	}{
+		{"ferret:4", "ferret:4", 1},
+		{"ferret", "ferret:4", 1}, // DefaultThreads
+		{"water_nsquared", "water_nsquared:2", 1},
+		{"ferret:4+bodytrack:8", "ferret:4+bodytrack:8", 2},
+		{" ferret:4 + bodytrack:8 ", "ferret:4+bodytrack:8", 2},
+		{"Sync-2", "Sync-2", 2},
+		{"Sync-2@seed=7", "Sync-2@seed=7", 2},
+		{"ferret:2*3", "ferret:2*3", 3},
+		{"ferret*2", "ferret:4*2", 2},
+		{"ferret:2*8@arrive=poisson(5ms)", "ferret:2*8@arrive=poisson(5ms)", 8},
+		{"dedup:4*3@arrive=trace(0,10ms,25ms)", "dedup:4*3@arrive=trace(0ns,10ms,25ms)", 3},
+		{"ferret:4@arrive=10ms", "ferret:4@arrive=10ms", 1},
+		{"ferret:4@arrive=fixed(10ms)", "ferret:4@arrive=10ms", 1},
+		{"ferret:4@arrive=poisson(5ms)", "ferret:4@arrive=poisson(5ms)", 1},
+		{"ferret:4@arrive=uniform(0,50ms)", "ferret:4@arrive=uniform(0ns,50ms)", 1},
+		{"dedup:4@arrive=trace(0,10ms,25ms)", "dedup:4@arrive=trace(0ns,10ms,25ms)", 1},
+		{"Sync-1@seed=3@arrive=2ms+ferret:6", "Sync-1@seed=3@arrive=2ms+ferret:6", 3},
+		{"radix:2@arrive=1500us", "radix:2@arrive=1500us", 1},
+		{"radix:2@arrive=1.5ms", "radix:2@arrive=1500us", 1},
+		{"radix:2@arrive=2s", "radix:2@arrive=2s", 1},
+	}
+	for _, c := range cases {
+		spec, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if spec.Canonical() != c.canonical {
+			t.Errorf("ParseSpec(%q).Canonical() = %q, want %q", c.in, spec.Canonical(), c.canonical)
+		}
+		if spec.Name != c.canonical {
+			t.Errorf("ParseSpec(%q).Name = %q, want canonical %q", c.in, spec.Name, c.canonical)
+		}
+		if got := spec.NumApps(); got != c.apps {
+			t.Errorf("ParseSpec(%q).NumApps() = %d, want %d", c.in, got, c.apps)
+		}
+		// Round-trip stability: the canonical form reparses to itself.
+		again, err := ParseSpec(spec.Canonical())
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v", spec.Canonical(), err)
+			continue
+		}
+		if again.Canonical() != spec.Canonical() {
+			t.Errorf("canonical form not stable: %q -> %q", spec.Canonical(), again.Canonical())
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ in, wantSub string }{
+		{"", "empty"},
+		{"nosuchthing:4", "benchmarks:"},
+		{"nosuchthing", "scenarios:"},
+		{"ferret:zero", "thread count"},
+		{"ferret:0", "out of range"},
+		{"ferret:99999999", "out of range"},
+		{"Sync-2:4", "no thread count"},
+		{"Sync-2*2", "no replication count"},
+		{"ferret:2*zero", "replication count"},
+		{"ferret:2*0", "out of range"},
+		{"ferret:2*9999", "out of range"},
+		{"ferret:4@", "modifier"},
+		{"ferret:4@bogus=1", "unknown modifier"},
+		{"ferret:4@seed=abc", "bad seed"},
+		{"ferret:4@seed=1@seed=2", "twice"},
+		{"ferret:4@arrive=1ms@arrive=2ms", "twice"},
+		{"ferret:4@arrive=sometimes", "bad arrival"},
+		{"ferret:4@arrive=uniform(5ms)", "uniform"},
+		{"ferret:4@arrive=uniform(9ms,2ms)", "inverted"},
+		{"ferret:4@arrive=poisson(0)", "positive"},
+		{"ferret:4@arrive=poisson(-5ms)", "duration"},
+		{"ferret:4@arrive=trace()", "at least one"},
+		{"ferret:4@arrive=uniform(1ms", "unbalanced"},
+		{"ferret:4@arrive=1ms)", "unbalanced"},
+		{"+ferret:4", "empty term"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error containing %q", c.in, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSpec(%q) error %q misses %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestDurationParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sim.Time
+	}{
+		{"0", 0},
+		{"1500", 1500},
+		{"1500ns", 1500},
+		{"2us", 2 * sim.Microsecond},
+		{"2µs", 2 * sim.Microsecond},
+		{"10ms", 10 * sim.Millisecond},
+		{"1.5ms", 1500 * sim.Microsecond},
+		{"2s", 2 * sim.Second},
+	}
+	for _, c := range cases {
+		got, err := parseDur(c.in)
+		if err != nil {
+			t.Errorf("parseDur(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseDur(%q) = %d, want %d", c.in, got, c.want)
+		}
+		if back, err := parseDur(formatDur(got)); err != nil || back != got {
+			t.Errorf("formatDur round-trip broke: %q -> %q -> %v (%v)", c.in, formatDur(got), back, err)
+		}
+	}
+	for _, bad := range []string{"", "ms", "-1ms", "1e300s", "nan", "inf", "+inf"} {
+		if _, err := parseDur(bad); err == nil {
+			t.Errorf("parseDur(%q) succeeded", bad)
+		}
+	}
+}
+
+// FuzzParseSpec fuzzes the scenario-grammar parser: it must never panic,
+// and any accepted input must have a stable canonical form (parse →
+// render → parse is a fixed point).
+func FuzzParseSpec(f *testing.F) {
+	for _, c := range Compositions() {
+		f.Add(c.Index)
+	}
+	for _, name := range Names() {
+		f.Add(name)
+		f.Add(name + ":4")
+	}
+	for _, s := range []string{
+		"ferret:4+bodytrack:8",
+		"Sync-2@seed=7",
+		"ferret:4@arrive=poisson(5ms)",
+		"ferret:4@arrive=fixed(10ms)",
+		"ferret:4@arrive=uniform(0,50ms)",
+		"ferret:2*8@arrive=poisson(5ms)",
+		"dedup:4*3@arrive=trace(0,10ms,25ms)",
+		"ferret:2*0",
+		"Sync-1@seed=3@arrive=2ms+ferret:6",
+		"radix:2@arrive=1.5ms",
+		"water_nsquared+fmm@seed=9",
+		"ferret:4@arrive=uniform(1ms",
+		"@seed=1",
+		"ferret:4@@",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		canon := spec.Canonical()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, in, err)
+		}
+		if got := again.Canonical(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", in, canon, got)
+		}
+		if spec.NumApps() != again.NumApps() {
+			t.Fatalf("app count drifted through canonicalisation: %d vs %d", spec.NumApps(), again.NumApps())
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package workload
+
+// This file defines the parsed scenario model behind the grammar: a Spec
+// is an ordered list of Terms, each expanding to one or more benchmark
+// instances with optional seed overrides and an arrival process. Table 4
+// compositions convert losslessly into single-term Specs (Composition.Spec)
+// and their closed-system builds are byte-identical to Composition.Build —
+// the golden corpus pins this continuously.
+
+import (
+	"fmt"
+	"math"
+
+	"colab/internal/mathx"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// buildSalt decorrelates workload generation from other uses of the same
+// seed. It must equal the salt Composition.Build has always used: the
+// grammar route to a Table 4 index reproduces the composition bit-for-bit.
+const buildSalt uint64 = 0xd1b54a32d192ed03
+
+// arrivalSalt decorrelates arrival-time draws from program generation, so
+// attaching an arrival process to a term never perturbs the generated
+// thread programs.
+const arrivalSalt uint64 = 0x5bf03635d1f2b4d1
+
+// ArrivalKind enumerates the arrival processes of the scenario grammar.
+type ArrivalKind string
+
+// The arrival processes.
+const (
+	// ArriveClosed is the zero value: every app admitted at time zero.
+	ArriveClosed ArrivalKind = ""
+	// ArriveFixed admits every app of the term at offset At.
+	ArriveFixed ArrivalKind = "fixed"
+	// ArriveUniform draws each app's arrival uniformly from [Lo, Hi).
+	ArriveUniform ArrivalKind = "uniform"
+	// ArrivePoisson is a Poisson process: successive apps of the term
+	// arrive after exponential gaps with mean Mean.
+	ArrivePoisson ArrivalKind = "poisson"
+	// ArriveTrace replays explicit arrival times: the k-th app of the term
+	// arrives at Times[k].
+	ArriveTrace ArrivalKind = "trace"
+)
+
+// Arrival describes when the apps of one scenario term enter the system.
+// The zero value is the closed system (everything at time zero). Random
+// processes draw from a dedicated stream that is a pure function of the
+// term's effective seed and position, independent of program generation.
+type Arrival struct {
+	Kind ArrivalKind
+	// At is the fixed offset (ArriveFixed).
+	At sim.Time
+	// Lo, Hi bound the uniform window (ArriveUniform).
+	Lo, Hi sim.Time
+	// Mean is the mean inter-arrival gap (ArrivePoisson).
+	Mean sim.Time
+	// Times are the replayed arrival times (ArriveTrace).
+	Times []sim.Time
+}
+
+// times materialises n arrival offsets for one term.
+func (a Arrival) times(n int, seed uint64, term int) ([]sim.Time, error) {
+	out := make([]sim.Time, n)
+	switch a.Kind {
+	case ArriveClosed:
+	case ArriveFixed:
+		if a.At < 0 {
+			return nil, fmt.Errorf("negative arrival offset %v", a.At)
+		}
+		for i := range out {
+			out[i] = a.At
+		}
+	case ArriveUniform:
+		if a.Lo < 0 || a.Hi < a.Lo {
+			return nil, fmt.Errorf("bad uniform arrival window [%v, %v)", a.Lo, a.Hi)
+		}
+		rng := arrivalRNG(seed, term)
+		for i := range out {
+			out[i] = a.Lo + sim.Time(rng.Float64()*float64(a.Hi-a.Lo))
+		}
+	case ArrivePoisson:
+		if a.Mean <= 0 {
+			return nil, fmt.Errorf("poisson arrival needs a positive mean gap, got %v", a.Mean)
+		}
+		rng := arrivalRNG(seed, term)
+		var cum float64
+		for i := range out {
+			cum += rng.Exp(float64(a.Mean))
+			if cum > math.MaxInt64/2 {
+				return nil, fmt.Errorf("poisson arrivals overflow simulated time")
+			}
+			out[i] = sim.Time(cum)
+		}
+	case ArriveTrace:
+		// Strict: a count mismatch in either direction means the spec does
+		// not model what its author wrote (extra times silently dropped
+		// would turn an intended open stream into a closed no-op).
+		if n != len(a.Times) {
+			return nil, fmt.Errorf("arrival trace has %d times for %d applications (replicate apps with \"*%d\")", len(a.Times), n, len(a.Times))
+		}
+		for i := range out {
+			if a.Times[i] < 0 {
+				return nil, fmt.Errorf("negative arrival time %v in trace", a.Times[i])
+			}
+			out[i] = a.Times[i]
+		}
+	default:
+		return nil, fmt.Errorf("unknown arrival kind %q", a.Kind)
+	}
+	return out, nil
+}
+
+// arrivalRNG derives the per-term arrival stream.
+func arrivalRNG(seed uint64, term int) *mathx.RNG {
+	return mathx.NewRNG(seed ^ arrivalSalt ^ (uint64(term+1) * 0x9e3779b97f4a7c15))
+}
+
+// AppSpec is one benchmark instance inside a scenario term. Threads <= 0
+// selects the benchmark's DefaultThreads.
+type AppSpec struct {
+	Bench   string
+	Threads int
+}
+
+// Term is one "+"-separated part of a scenario: either a single benchmark
+// instance or the expansion of a registered scenario reference, with
+// optional seed override and arrival process.
+type Term struct {
+	// Source is the registered scenario name this term expanded from (""
+	// for a bare benchmark instance); it is what the canonical rendering
+	// shows.
+	Source string
+	// Apps are the benchmark instances, in admission (app-ID) order.
+	Apps []AppSpec
+	// Seed overrides the build seed for this term's program generation
+	// when HasSeed is set. Terms sharing an effective seed share one
+	// generation stream, so "Sync-2@seed=7" builds the exact apps of
+	// building "Sync-2" at seed 7.
+	Seed    uint64
+	HasSeed bool
+	// Arrival is the term's arrival process (zero value = closed).
+	Arrival Arrival
+}
+
+// modified reports whether the term carries a seed override or an arrival
+// process.
+func (t Term) modified() bool { return t.HasSeed || t.Arrival.Kind != ArriveClosed }
+
+// Spec is a parsed scenario: the unit the experiment layer builds and
+// scores. Obtain one from ParseSpec (the grammar), from a registered name,
+// or from Composition.Spec.
+type Spec struct {
+	// Name identifies the scenario in results and memo keys: the
+	// registered name, a Table 4 index, or the canonical grammar string.
+	Name  string
+	Terms []Term
+}
+
+// NumApps returns the number of applications the spec instantiates.
+func (s Spec) NumApps() int {
+	n := 0
+	for _, t := range s.Terms {
+		n += len(t.Apps)
+	}
+	return n
+}
+
+// Open reports whether any term carries an arrival process.
+func (s Spec) Open() bool {
+	for _, t := range s.Terms {
+		if t.Arrival.Kind != ArriveClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// Closed returns a copy of the spec with every arrival process stripped:
+// the closed-system build used for baseline collection.
+func (s Spec) Closed() Spec {
+	out := Spec{Name: s.Name, Terms: make([]Term, len(s.Terms))}
+	copy(out.Terms, s.Terms)
+	for i := range out.Terms {
+		out.Terms[i].Arrival = Arrival{}
+	}
+	return out
+}
+
+// Build instantiates the scenario into a runnable workload. Each call
+// produces fresh threads; a workload cannot be re-run. Terms without a
+// seed override share one generation stream keyed by the build seed
+// (exactly Composition.Build's scheme); each distinct override seed opens
+// its own stream on first use.
+func (s Spec) Build(seed uint64) (*task.Workload, error) {
+	if len(s.Terms) == 0 {
+		return nil, fmt.Errorf("workload: scenario %q has no terms", s.Name)
+	}
+	w := &task.Workload{Name: s.Name}
+	streams := make(map[uint64]*mathx.RNG)
+	stream := func(sd uint64) *mathx.RNG {
+		r, ok := streams[sd]
+		if !ok {
+			r = mathx.NewRNG(sd ^ buildSalt)
+			streams[sd] = r
+		}
+		return r
+	}
+	appID := 0
+	for ti, term := range s.Terms {
+		eff := seed
+		if term.HasSeed {
+			eff = term.Seed
+		}
+		rng := stream(eff)
+		var apps []*task.App
+		for _, as := range term.Apps {
+			b, ok := ByName(as.Bench)
+			if !ok {
+				return nil, fmt.Errorf("workload: scenario %s: %w", s.Name, unknownBenchmarkError(as.Bench))
+			}
+			n := as.Threads
+			if n <= 0 {
+				n = b.DefaultThreads
+			}
+			app, err := b.Instantiate(appID, n, rng)
+			if err != nil {
+				return nil, fmt.Errorf("workload: scenario %s: %w", s.Name, err)
+			}
+			if app.NumThreads() != n {
+				return nil, fmt.Errorf("workload: %s/%s requested %d threads, generator produced %d (cap %d)",
+					s.Name, as.Bench, n, app.NumThreads(), b.MaxThreads)
+			}
+			appID++
+			apps = append(apps, app)
+		}
+		times, err := term.Arrival.times(len(apps), eff, ti)
+		if err != nil {
+			return nil, fmt.Errorf("workload: scenario %s term %d: %w", s.Name, ti+1, err)
+		}
+		for i, app := range apps {
+			app.Arrival = times[i]
+		}
+		w.Apps = append(w.Apps, apps...)
+	}
+	return w, nil
+}
+
+// Spec converts a Table 4 composition into its scenario form: one closed
+// term whose apps are the composition's parts. Spec(...).Build(seed) is
+// byte-identical to Composition.Build(seed).
+func (c Composition) Spec() Spec {
+	term := Term{Source: c.Index}
+	for _, p := range c.Parts {
+		term.Apps = append(term.Apps, AppSpec{Bench: p.Bench, Threads: p.Threads})
+	}
+	return Spec{Name: c.Index, Terms: []Term{term}}
+}

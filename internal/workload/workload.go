@@ -1,6 +1,10 @@
 // Package workload provides synthetic stand-ins for the paper's PARSEC 3.0
 // and SPLASH-2 benchmarks (Table 3) and the 26 multi-programmed workload
-// compositions built from them (Table 4).
+// compositions built from them (Table 4), plus the open scenario layer that
+// generalises both: a process-wide registry of benchmark generators and
+// named scenarios, a composition grammar ("ferret:4+bodytrack:8",
+// "Sync-2@seed=7", "ferret:4@arrive=poisson(5ms)") and arrival processes
+// for open-system workloads.
 //
 // Each benchmark is a parametric generator: given a thread count and a
 // seed, it emits a task.App whose threads reproduce the benchmark's
@@ -33,10 +37,13 @@ const (
 )
 
 // Benchmark is one synthetic benchmark generator plus its Table 3
-// categorisation.
+// categorisation. User benchmarks built over the same Gen surface register
+// through Register and then resolve everywhere a benchmark name is
+// accepted (the scenario grammar, SingleProgram, the cmd tools).
 type Benchmark struct {
 	Name string
-	// Suite is "parsec" or "splash2".
+	// Suite is "parsec" or "splash2" for the built-ins; user benchmarks
+	// pick any label.
 	Suite string
 	// SyncRate is the synchronisation intensity (Table 3).
 	SyncRate Rate
@@ -46,16 +53,22 @@ type Benchmark struct {
 	// not scale past 2 threads with simsmall inputs, §5.2). 0 = unlimited.
 	MaxThreads int
 	// DefaultThreads is the single-program thread count (Figure 4 uses the
-	// simsmall defaults on a 4-core machine).
+	// simsmall inputs on a 4-core machine). It also fills thread counts the
+	// scenario grammar omits ("ferret" alone means "ferret:DefaultThreads").
 	DefaultThreads int
 
-	gen func(ab *appBuilder, n int)
+	// Gen emits exactly n threads into the builder. It must be a pure
+	// function of the builder's RNG stream so a (benchmark, threads, seed)
+	// triple is fully reproducible.
+	Gen func(b *Builder, n int)
 }
 
 // Instantiate builds a fresh App with n threads (clamped to the
 // benchmark's supported range) using a deterministic seed. appID must be
-// unique within one workload: the kernel scopes futexes by it.
-func (b Benchmark) Instantiate(appID, n int, rng *mathx.RNG) *task.App {
+// unique within one workload: the kernel scopes futexes by it. A generator
+// that emits a different thread count than asked is reported as an error
+// (generator authorship is a public registry surface).
+func (b Benchmark) Instantiate(appID, n int, rng *mathx.RNG) (*task.App, error) {
 	if n < 1 {
 		n = 1
 	}
@@ -63,90 +76,101 @@ func (b Benchmark) Instantiate(appID, n int, rng *mathx.RNG) *task.App {
 		n = b.MaxThreads
 	}
 	app := &task.App{ID: appID, Name: b.Name}
-	ab := &appBuilder{app: app, rng: rng.Fork(uint64(appID)*7919 + 13)}
-	b.gen(ab, n)
+	ab := &Builder{app: app, rng: rng.Fork(uint64(appID)*7919 + 13)}
+	b.Gen(ab, n)
 	if len(app.Threads) != n {
-		panic(fmt.Sprintf("workload: %s generator emitted %d threads, want %d", b.Name, len(app.Threads), n))
+		return nil, fmt.Errorf("workload: %s generator emitted %d threads, want %d", b.Name, len(app.Threads), n)
 	}
-	return app
-}
-
-// ByName looks a benchmark up by name.
-func ByName(name string) (Benchmark, bool) {
-	for _, b := range All() {
-		if b.Name == name {
-			return b, true
-		}
-	}
-	return Benchmark{}, false
-}
-
-// Names returns all benchmark names in Table 3 order.
-func Names() []string {
-	var out []string
-	for _, b := range All() {
-		out = append(out, b.Name)
-	}
-	return out
+	return app, nil
 }
 
 // SingleProgram builds a workload holding one benchmark instance, the
-// configuration Figure 4 evaluates.
+// configuration Figure 4 evaluates. Unknown names error with the full
+// registered-benchmark list.
 func SingleProgram(bench string, threads int, seed uint64) (*task.Workload, error) {
 	b, ok := ByName(bench)
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q", bench)
+		return nil, unknownBenchmarkError(bench)
 	}
 	rng := mathx.NewRNG(seed)
-	app := b.Instantiate(0, threads, rng)
+	app, err := b.Instantiate(0, threads, rng)
+	if err != nil {
+		return nil, err
+	}
 	return &task.Workload{Name: bench, Apps: []*task.App{app}}, nil
 }
 
 // ---------------------------------------------------------------------------
-// Builder plumbing shared by the generators.
+// The app builder: the public authoring surface benchmark generators write
+// against. The built-in Table 3 generators use exactly this API.
 
 // ms is one millisecond of little-core work in work units (work units are
 // little-core nanoseconds).
 const ms = 1e6
 
-type appBuilder struct {
+// Builder authors one application: it allocates synchronisation-object IDs,
+// declares bounded queues and emits threads. A Builder is handed to
+// Benchmark.Gen with a deterministic per-app RNG stream; NewAppBuilder
+// creates one for standalone app authoring outside the registry.
+type Builder struct {
 	app    *task.App
 	rng    *mathx.RNG
 	nextID int
 }
 
-func (ab *appBuilder) id() int {
-	ab.nextID++
-	return ab.nextID
+// NewAppBuilder starts a standalone app (outside Benchmark.Instantiate).
+// appID must be unique within the workload the app will join; the RNG
+// stream is forked per-app exactly like registry instantiation, so the same
+// (appID, seed) pair reproduces the same app.
+func NewAppBuilder(appID int, name string, rng *mathx.RNG) *Builder {
+	app := &task.App{ID: appID, Name: name}
+	return &Builder{app: app, rng: rng.Fork(uint64(appID)*7919 + 13)}
 }
 
-func (ab *appBuilder) queue(capacity int) int {
-	id := ab.id()
-	ab.app.Queues = append(ab.app.Queues, task.QueueSpec{ID: id, Capacity: capacity})
+// App returns the application under construction.
+func (b *Builder) App() *task.App { return b.app }
+
+// RNG returns the builder's deterministic random stream; generators draw
+// all jitter from it.
+func (b *Builder) RNG() *mathx.RNG { return b.rng }
+
+// NewID allocates a fresh app-scoped synchronisation-object ID (for locks
+// and barriers).
+func (b *Builder) NewID() int {
+	b.nextID++
+	return b.nextID
+}
+
+// Queue declares a bounded queue with the given capacity and returns its
+// ID for Put/Get ops.
+func (b *Builder) Queue(capacity int) int {
+	id := b.NewID()
+	b.app.Queues = append(b.app.Queues, task.QueueSpec{ID: id, Capacity: capacity})
 	return id
 }
 
-func (ab *appBuilder) thread(name string, prof cpu.WorkProfile, prog task.Program) *task.Thread {
+// Thread emits one thread running prog with the given work profile.
+func (b *Builder) Thread(name string, prof cpu.WorkProfile, prog task.Program) *task.Thread {
 	t := &task.Thread{
-		App:     ab.app,
+		App:     b.app,
 		Name:    name,
 		Profile: prof.Clamp(),
 		Program: prog,
 	}
-	ab.app.Threads = append(ab.app.Threads, t)
+	b.app.Threads = append(b.app.Threads, t)
 	return t
 }
 
 // ---------------------------------------------------------------------------
-// Work profiles. Each returns a jittered instance of a microarchitectural
-// archetype. The noted speedup ranges are big-anchor values; on machines
-// with middle tiers each profile's per-tier speedup follows
-// cpu.WorkProfile.SpeedupOn (e.g. a ~2.5x-on-big kernel lands near ~1.7x
-// on a DynamIQ-style medium core), so the same generators exercise any
-// tier palette.
+// Work profiles: the four microarchitectural archetype families. Each
+// returns a jittered instance. The noted speedup ranges are big-anchor
+// values; on machines with middle tiers each profile's per-tier speedup
+// follows cpu.WorkProfile.SpeedupOn (e.g. a ~2.5x-on-big kernel lands near
+// ~1.7x on a DynamIQ-style medium core), so the same generators exercise
+// any tier palette.
 
-// computeProfile: high-ILP floating-point kernels (~2.3-2.8x on big).
-func computeProfile(rng *mathx.RNG) cpu.WorkProfile {
+// ComputeProfile: high-ILP floating-point kernels (~2.3-2.8x on big).
+func ComputeProfile(rng *mathx.RNG) cpu.WorkProfile {
 	return cpu.WorkProfile{
 		ILP:           rng.Range(0.70, 0.95),
 		BranchRate:    rng.Range(0.05, 0.12),
@@ -157,8 +181,8 @@ func computeProfile(rng *mathx.RNG) cpu.WorkProfile {
 	}
 }
 
-// memoryProfile: bandwidth/latency-bound streaming (~1.1-1.5x on big).
-func memoryProfile(rng *mathx.RNG) cpu.WorkProfile {
+// MemoryProfile: bandwidth/latency-bound streaming (~1.1-1.5x on big).
+func MemoryProfile(rng *mathx.RNG) cpu.WorkProfile {
 	return cpu.WorkProfile{
 		ILP:           rng.Range(0.10, 0.35),
 		BranchRate:    rng.Range(0.04, 0.10),
@@ -169,8 +193,8 @@ func memoryProfile(rng *mathx.RNG) cpu.WorkProfile {
 	}
 }
 
-// balancedProfile: mixed integer workloads (~1.7-2.2x on big).
-func balancedProfile(rng *mathx.RNG) cpu.WorkProfile {
+// BalancedProfile: mixed integer workloads (~1.7-2.2x on big).
+func BalancedProfile(rng *mathx.RNG) cpu.WorkProfile {
 	return cpu.WorkProfile{
 		ILP:           rng.Range(0.40, 0.70),
 		BranchRate:    rng.Range(0.08, 0.16),
@@ -181,8 +205,8 @@ func balancedProfile(rng *mathx.RNG) cpu.WorkProfile {
 	}
 }
 
-// branchyProfile: control-heavy code, e.g. tree mining (~2.0-2.5x on big).
-func branchyProfile(rng *mathx.RNG) cpu.WorkProfile {
+// BranchyProfile: control-heavy code, e.g. tree mining (~2.0-2.5x on big).
+func BranchyProfile(rng *mathx.RNG) cpu.WorkProfile {
 	return cpu.WorkProfile{
 		ILP:           rng.Range(0.50, 0.80),
 		BranchRate:    rng.Range(0.16, 0.28),
@@ -196,51 +220,52 @@ func branchyProfile(rng *mathx.RNG) cpu.WorkProfile {
 // ---------------------------------------------------------------------------
 // Structural program builders.
 
-// dpOptions parameterises a barrier-phased data-parallel program.
-type dpOptions struct {
-	phases     int
-	phaseWork  float64 // mean work units per thread per phase
-	imbalance  float64 // per-thread-phase work jitter amplitude
-	decay      bool    // SPLASH-2 LU-style shrinking parallel sections
-	locksPer   int     // critical sections per phase
-	csWork     float64 // work inside each critical section
-	lockSpread int     // number of distinct locks (contention knob)
-	profile    func(*mathx.RNG) cpu.WorkProfile
-	// skewFirst multiplies thread 0's work (serial-ish leader), 0 = off.
-	skewFirst float64
+// DataParallelOptions parameterises a barrier-phased data-parallel program.
+type DataParallelOptions struct {
+	Phases    int
+	PhaseWork float64 // mean work units per thread per phase
+	Imbalance float64 // per-thread-phase work jitter amplitude
+	Decay     bool    // SPLASH-2 LU-style shrinking parallel sections
+	LocksPer  int     // critical sections per phase
+	CSWork    float64 // work inside each critical section
+	// LockSpread is the number of distinct locks (contention knob).
+	LockSpread int
+	Profile    func(*mathx.RNG) cpu.WorkProfile
+	// SkewFirst multiplies thread 0's work (serial-ish leader), 0 = off.
+	SkewFirst float64
 }
 
-// buildDataParallel emits n threads running `phases` barrier-separated
-// phases. Critical sections inside a phase hit a random lock from the
-// spread, producing futex blocking blame proportional to the sync rate.
-func buildDataParallel(ab *appBuilder, n int, o dpOptions) {
-	if o.lockSpread < 1 {
-		o.lockSpread = 1
+// DataParallel emits n threads running o.Phases barrier-separated phases.
+// Critical sections inside a phase hit a random lock from the spread,
+// producing futex blocking blame proportional to the sync rate.
+func (b *Builder) DataParallel(n int, o DataParallelOptions) {
+	if o.LockSpread < 1 {
+		o.LockSpread = 1
 	}
-	bar := ab.id()
-	locks := make([]int, o.lockSpread)
+	bar := b.NewID()
+	locks := make([]int, o.LockSpread)
 	for i := range locks {
-		locks[i] = ab.id()
+		locks[i] = b.NewID()
 	}
 	for i := 0; i < n; i++ {
-		prof := o.profile(ab.rng)
+		prof := o.Profile(b.rng)
 		var ops task.Program
-		for ph := 0; ph < o.phases; ph++ {
-			w := ab.rng.Jitter(o.phaseWork, o.imbalance)
-			if o.decay {
-				w *= float64(o.phases-ph) / float64(o.phases)
+		for ph := 0; ph < o.Phases; ph++ {
+			w := b.rng.Jitter(o.PhaseWork, o.Imbalance)
+			if o.Decay {
+				w *= float64(o.Phases-ph) / float64(o.Phases)
 			}
-			if i == 0 && o.skewFirst > 0 {
-				w *= o.skewFirst
+			if i == 0 && o.SkewFirst > 0 {
+				w *= o.SkewFirst
 			}
-			if o.locksPer > 0 && n > 1 {
-				per := w / float64(o.locksPer+1)
-				for l := 0; l < o.locksPer; l++ {
-					lk := locks[ab.rng.IntN(len(locks))]
+			if o.LocksPer > 0 && n > 1 {
+				per := w / float64(o.LocksPer+1)
+				for l := 0; l < o.LocksPer; l++ {
+					lk := locks[b.rng.IntN(len(locks))]
 					ops = append(ops,
 						task.Compute{Work: per},
 						task.Lock{ID: lk},
-						task.Compute{Work: ab.rng.Jitter(o.csWork, 0.3)},
+						task.Compute{Work: b.rng.Jitter(o.CSWork, 0.3)},
 						task.Unlock{ID: lk},
 					)
 				}
@@ -252,37 +277,37 @@ func buildDataParallel(ab *appBuilder, n int, o dpOptions) {
 				ops = append(ops, task.Barrier{ID: bar, Parties: n})
 			}
 		}
-		ab.thread(fmt.Sprintf("w%d", i), prof, ops)
+		b.Thread(fmt.Sprintf("w%d", i), prof, ops)
 	}
 }
 
-// stageSpec describes one pipeline stage.
-type stageSpec struct {
-	name     string
-	workItem float64 // work units per item
-	profile  func(*mathx.RNG) cpu.WorkProfile
+// PipeStage describes one pipeline stage.
+type PipeStage struct {
+	Name     string
+	WorkItem float64 // work units per item
+	Profile  func(*mathx.RNG) cpu.WorkProfile
 }
 
-// buildPipeline emits an items-through-stages pipeline over bounded queues
-// (the dedup/ferret structure). Threads are spread one per stage first,
-// then round-robin; with fewer threads than stages, adjacent stages merge
-// (as the real benchmarks do at low thread counts).
-func buildPipeline(ab *appBuilder, n int, stages []stageSpec, items, qcap int) {
+// Pipeline emits an items-through-stages pipeline over bounded queues (the
+// dedup/ferret structure). Threads are spread one per stage first, then
+// round-robin; with fewer threads than stages, adjacent stages merge (as
+// the real benchmarks do at low thread counts).
+func (b *Builder) Pipeline(n int, stages []PipeStage, items, qcap int) {
 	if n == 1 {
 		// Sequential fallback: all stages fused into one thread.
 		total := 0.0
 		for _, s := range stages {
-			total += s.workItem
+			total += s.WorkItem
 		}
 		var ops task.Program
 		for it := 0; it < items; it++ {
-			ops = append(ops, task.Compute{Work: ab.rng.Jitter(total, 0.2)})
+			ops = append(ops, task.Compute{Work: b.rng.Jitter(total, 0.2)})
 		}
-		ab.thread("s0", stages[0].profile(ab.rng), ops)
+		b.Thread("s0", stages[0].Profile(b.rng), ops)
 		return
 	}
 	// Merge adjacent stages down to at most n effective stages.
-	eff := mergeStages(stages, minInt(len(stages), n))
+	eff := mergeStages(stages, min(len(stages), n))
 	// Thread counts per effective stage: one each, extras round-robin over
 	// the interior (parallelisable) stages, matching PARSEC pipelines.
 	counts := make([]int, len(eff))
@@ -302,36 +327,34 @@ func buildPipeline(ab *appBuilder, n int, stages []stageSpec, items, qcap int) {
 	}
 	queues := make([]int, len(eff)-1)
 	for i := range queues {
-		queues[i] = ab.queue(qcap)
+		queues[i] = b.Queue(qcap)
 	}
-	tid := 0
 	for s, spec := range eff {
 		shares := splitShares(items, counts[s])
 		for k := 0; k < counts[s]; k++ {
-			prof := spec.profile(ab.rng)
+			prof := spec.Profile(b.rng)
 			var ops task.Program
 			for it := 0; it < shares[k]; it++ {
 				if s > 0 {
 					ops = append(ops, task.Get{ID: queues[s-1]})
 				}
-				ops = append(ops, task.Compute{Work: ab.rng.Jitter(spec.workItem, 0.35)})
+				ops = append(ops, task.Compute{Work: b.rng.Jitter(spec.WorkItem, 0.35)})
 				if s < len(eff)-1 {
 					ops = append(ops, task.Put{ID: queues[s]})
 				}
 			}
-			ab.thread(fmt.Sprintf("%s%d", spec.name, k), prof, ops)
-			tid++
+			b.Thread(fmt.Sprintf("%s%d", spec.Name, k), prof, ops)
 		}
 	}
 }
 
 // mergeStages combines adjacent stages into k groups, summing per-item work
 // and keeping the heaviest member's profile and name.
-func mergeStages(stages []stageSpec, k int) []stageSpec {
+func mergeStages(stages []PipeStage, k int) []PipeStage {
 	if k >= len(stages) {
 		return stages
 	}
-	out := make([]stageSpec, 0, k)
+	out := make([]PipeStage, 0, k)
 	base := len(stages) / k
 	rem := len(stages) % k
 	idx := 0
@@ -341,11 +364,13 @@ func mergeStages(stages []stageSpec, k int) []stageSpec {
 			size++
 		}
 		merged := stages[idx]
+		heaviest := stages[idx].WorkItem
 		for j := idx + 1; j < idx+size; j++ {
-			merged.workItem += stages[j].workItem
-			if stages[j].workItem > stages[idx].workItem {
-				merged.name = stages[j].name
-				merged.profile = stages[j].profile
+			merged.WorkItem += stages[j].WorkItem
+			if stages[j].WorkItem > heaviest {
+				heaviest = stages[j].WorkItem
+				merged.Name = stages[j].Name
+				merged.Profile = stages[j].Profile
 			}
 		}
 		out = append(out, merged)
@@ -364,13 +389,6 @@ func splitShares(items, k int) []int {
 		out[i]++
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // SortedThreadWork is a debugging helper: total per-thread work in the app,

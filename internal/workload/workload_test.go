@@ -43,7 +43,10 @@ func TestInstantiateExactThreadCounts(t *testing.T) {
 			if b.MaxThreads > 0 && want > b.MaxThreads {
 				want = b.MaxThreads
 			}
-			app := b.Instantiate(0, n, rng)
+			app, err := b.Instantiate(0, n, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if app.NumThreads() != want {
 				t.Fatalf("%s(n=%d): %d threads, want %d", b.Name, n, app.NumThreads(), want)
 			}
@@ -63,10 +66,21 @@ func TestInstantiateExactThreadCounts(t *testing.T) {
 	}
 }
 
+// mustInstantiate builds an app from a benchmark whose generator is known
+// to be well-formed.
+func mustInstantiate(t *testing.T, b Benchmark, appID, n int, rng *mathx.RNG) *task.App {
+	t.Helper()
+	app, err := b.Instantiate(appID, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
 func TestInstantiateDeterministic(t *testing.T) {
 	for _, b := range All() {
-		a1 := b.Instantiate(3, 4, mathx.NewRNG(77))
-		a2 := b.Instantiate(3, 4, mathx.NewRNG(77))
+		a1 := mustInstantiate(t, b, 3, 4, mathx.NewRNG(77))
+		a2 := mustInstantiate(t, b, 3, 4, mathx.NewRNG(77))
 		if len(a1.Threads) != len(a2.Threads) {
 			t.Fatalf("%s: nondeterministic thread count", b.Name)
 		}
@@ -99,9 +113,9 @@ func TestSyncRateShowsInPrograms(t *testing.T) {
 	fluid, _ := ByName("fluidanimate")
 	spatial, _ := ByName("water_spatial")
 	blacks, _ := ByName("blackscholes")
-	lf := countLocks(fluid.Instantiate(0, 4, rng))
-	ls := countLocks(spatial.Instantiate(1, 2, rng))
-	lb := countLocks(blacks.Instantiate(2, 4, rng))
+	lf := countLocks(mustInstantiate(t, fluid, 0, 4, rng))
+	ls := countLocks(mustInstantiate(t, spatial, 1, 2, rng))
+	lb := countLocks(mustInstantiate(t, blacks, 2, 4, rng))
 	// fluidanimate has ~100x the lock rate of other PARSEC apps (§5.2).
 	if lf < 20*ls {
 		t.Errorf("fluidanimate locks %d not >> water_spatial %d", lf, ls)
@@ -114,7 +128,7 @@ func TestSyncRateShowsInPrograms(t *testing.T) {
 func TestPipelineStructure(t *testing.T) {
 	rng := mathx.NewRNG(11)
 	dedup, _ := ByName("dedup")
-	app := dedup.Instantiate(0, 9, rng)
+	app := mustInstantiate(t, dedup, 0, 9, rng)
 	if len(app.Queues) == 0 {
 		t.Fatalf("dedup pipeline declared no queues")
 	}
@@ -144,7 +158,10 @@ func TestPipelineFlowConservationAcrossWidths(t *testing.T) {
 	for _, name := range []string{"dedup", "ferret", "freqmine"} {
 		b, _ := ByName(name)
 		for _, n := range []int{1, 2, 4, 5, 7, 9, 14} {
-			app := b.Instantiate(0, n, rng)
+			app, err := b.Instantiate(0, n, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
 			perQueue := map[int]int{}
 			for _, th := range app.Threads {
 				for _, op := range th.Program {
@@ -169,7 +186,7 @@ func TestBarrierPartiesMatchThreadCount(t *testing.T) {
 	rng := mathx.NewRNG(17)
 	for _, name := range []string{"blackscholes", "radix", "fft", "lu_cb", "bodytrack", "fluidanimate"} {
 		b, _ := ByName(name)
-		app := b.Instantiate(0, 5, rng)
+		app := mustInstantiate(t, b, 0, 5, rng)
 		n := app.NumThreads()
 		for _, th := range app.Threads {
 			for _, op := range th.Program {
@@ -258,17 +275,17 @@ func TestSingleProgram(t *testing.T) {
 }
 
 func TestMergeStagesAndShares(t *testing.T) {
-	stages := []stageSpec{
-		{name: "a", workItem: 1},
-		{name: "b", workItem: 5},
-		{name: "c", workItem: 2},
-		{name: "d", workItem: 1},
+	stages := []PipeStage{
+		{Name: "a", WorkItem: 1},
+		{Name: "b", WorkItem: 5},
+		{Name: "c", WorkItem: 2},
+		{Name: "d", WorkItem: 1},
 	}
 	merged := mergeStages(stages, 2)
 	if len(merged) != 2 {
 		t.Fatalf("merged to %d stages", len(merged))
 	}
-	if merged[0].workItem+merged[1].workItem != 9 {
+	if merged[0].WorkItem+merged[1].WorkItem != 9 {
 		t.Fatalf("work lost in merge: %v", merged)
 	}
 	if got := mergeStages(stages, 10); len(got) != 4 {

@@ -1,0 +1,129 @@
+package colab
+
+import (
+	"colab/internal/mathx"
+	"colab/internal/workload"
+)
+
+// This file is the public scenario API: the workload-side analog of the
+// policy/stage registry. Benchmarks (parametric app generators authored
+// against AppBuilder) and scenarios (named workload compositions with
+// optional arrival processes) register process-wide and then resolve
+// everywhere a workload is named — BuildWorkload, Experiment sessions
+// (WithWorkloads) and the cmd tools — through the scenario grammar:
+//
+//	"ferret:4+bodytrack:8"            two benchmark instances, closed system
+//	"Sync-2@seed=7"                   a Table 4 mix at an overridden seed
+//	"ferret:4@arrive=poisson(5ms)"    open system: Poisson arrivals
+//	"dedup:4@arrive=trace(0,10ms)"    open system: replayed arrival times
+
+// Workload-authoring surface: the builder benchmark generators receive,
+// the structural program builders, and the RNG all randomness draws from.
+type (
+	// AppBuilder authors one application: sync-object IDs, bounded queues
+	// and threads over the task.Op vocabulary (Compute, Lock/Unlock,
+	// Barrier, Put/Get, Sleep, Phase). Benchmark.Gen receives one; the 15
+	// built-in Table 3 generators are written against exactly this API.
+	AppBuilder = workload.Builder
+	// DataParallelOptions parameterises AppBuilder.DataParallel: a
+	// barrier-phased data-parallel program (the SPLASH-2 shape).
+	DataParallelOptions = workload.DataParallelOptions
+	// PipeStage describes one stage of AppBuilder.Pipeline: an
+	// items-through-stages pipeline over bounded queues (the dedup/ferret
+	// shape).
+	PipeStage = workload.PipeStage
+	// RNG is the deterministic seedable random source workload generation
+	// draws from.
+	RNG = mathx.RNG
+	// Scenario is a parsed workload scenario: ordered terms of benchmark
+	// instances with optional seed overrides and arrival processes.
+	Scenario = workload.Spec
+	// ScenarioTerm is one "+"-separated part of a scenario.
+	ScenarioTerm = workload.Term
+	// ScenarioApp is one benchmark instance inside a scenario term.
+	ScenarioApp = workload.AppSpec
+	// Arrival describes when a scenario term's apps enter the system: the
+	// zero value is closed (time zero); fixed-offset, uniform, Poisson and
+	// trace-replay processes model open systems.
+	Arrival = workload.Arrival
+	// ArrivalKind names an arrival process.
+	ArrivalKind = workload.ArrivalKind
+)
+
+// Arrival process kinds.
+const (
+	ArriveClosed  = workload.ArriveClosed
+	ArriveFixed   = workload.ArriveFixed
+	ArriveUniform = workload.ArriveUniform
+	ArrivePoisson = workload.ArrivePoisson
+	ArriveTrace   = workload.ArriveTrace
+)
+
+// NewRNG returns a deterministic RNG for standalone app authoring.
+func NewRNG(seed uint64) *RNG { return mathx.NewRNG(seed) }
+
+// NewAppBuilder starts a standalone app outside the benchmark registry.
+// appID must be unique within the workload the app joins; the same
+// (appID, seed) pair reproduces the same app.
+func NewAppBuilder(appID int, name string, rng *RNG) *AppBuilder {
+	return workload.NewAppBuilder(appID, name, rng)
+}
+
+// The four work-profile families of the built-in generators, each
+// returning a jittered microarchitectural archetype: high-ILP FP kernels,
+// bandwidth-bound streaming, mixed integer and control-heavy code.
+var (
+	ComputeProfile  = workload.ComputeProfile
+	MemoryProfile   = workload.MemoryProfile
+	BalancedProfile = workload.BalancedProfile
+	BranchyProfile  = workload.BranchyProfile
+)
+
+// RegisterBenchmark adds a benchmark generator to the process-wide
+// registry, making it addressable by name everywhere workloads are named:
+// the scenario grammar (BuildWorkload, WithWorkloads), BuildBenchmark and
+// the cmd tools. It errors on a grammar-unsafe name, a nil generator, a
+// non-positive DefaultThreads, or a name collision.
+func RegisterBenchmark(b Benchmark) error { return workload.Register(b) }
+
+// MustRegisterBenchmark is RegisterBenchmark for init-time use; it panics
+// on error.
+func MustRegisterBenchmark(b Benchmark) { workload.MustRegister(b) }
+
+// BenchmarkNames returns every registered benchmark name (built-in and
+// user) in sorted order.
+func BenchmarkNames() []string { return workload.BenchmarkNames() }
+
+// RegisteredBenchmarks returns every registered benchmark — the Table 3
+// built-ins in paper order, then user benchmarks in registration order.
+func RegisteredBenchmarks() []Benchmark { return workload.Registered() }
+
+// RegisterScenario parses spec with the scenario grammar and registers it
+// under name, making the name resolvable wherever workloads are named. It
+// errors on a grammar-unsafe or colliding name, or a spec that does not
+// parse.
+func RegisterScenario(name, spec string) error {
+	s, err := workload.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	return workload.RegisterScenario(name, s)
+}
+
+// MustRegisterScenario is RegisterScenario for init-time use; it panics on
+// error.
+func MustRegisterScenario(name, spec string) {
+	if err := RegisterScenario(name, spec); err != nil {
+		panic(err)
+	}
+}
+
+// ScenarioNames returns every registered scenario name (the 26 Table 4
+// indexes and user scenarios) in sorted order.
+func ScenarioNames() []string { return workload.ScenarioNames() }
+
+// ParseScenario parses a scenario-grammar spec (or resolves a registered
+// scenario name) without building it — the inspection surface behind
+// colab-workloads -describe. The returned scenario's String() is the
+// canonical grammar form.
+func ParseScenario(spec string) (Scenario, error) { return workload.ResolveSpec(spec) }
