@@ -210,3 +210,33 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		b.ReportMetric(float64(events)/float64(b.N), "events/run")
 	}
 }
+
+// BenchmarkKernelEvents128 measures big-machine kernel throughput: a
+// 128-thread four-program mix saturating the 128-core tri-gear palette
+// under COLAB, reporting simulated events per wall second. This is the
+// headline number for the mask-set affinity representation — every queue
+// scan and dispatch touches masks wider than one word.
+func BenchmarkKernelEvents128(b *testing.B) {
+	model, err := colab.TrainSpeedupModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := colab.BuildWorkload("ferret:32+bodytrack:32+radix:32+fft:32", uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := colab.Run(colab.Config32B32M64S, colab.NewCOLAB(model), w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}

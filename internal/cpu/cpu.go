@@ -197,17 +197,19 @@ var (
 // FreqRatio is the big/little clock ratio (2.0 GHz / 1.2 GHz).
 const FreqRatio = 2000.0 / 1200.0
 
-// MaxCores is the largest supported machine: thread affinity masks are
-// uint64 bitmaps (task.AffinityAll), so core indices beyond 63 would
-// silently wrap and corrupt every mask computation. Config.Validate and
-// the config constructors enforce the bound.
-const MaxCores = 64
+// MaxCores is the largest supported machine. Thread affinity is a
+// task.Mask set (inline fast path below 64 cores, spilled words above), so
+// the bound is no longer a representation limit — it is a sanity guard
+// sized for the largest server palettes worth simulating, and it fixes the
+// universe the mask set's "all cores" value covers. Config.Validate and
+// the config constructors enforce it.
+const MaxCores = 1024
 
-// checkCoreCount guards the constructors against mask-corrupting sizes
-// with a clear error instead of silent wraparound downstream.
+// checkCoreCount guards the constructors against out-of-universe sizes
+// with a clear error instead of corrupt affinity state downstream.
 func checkCoreCount(n int, what string) {
 	if n > MaxCores {
-		panic(fmt.Sprintf("cpu: %s has %d cores; affinity masks are uint64, max %d", what, n, MaxCores))
+		panic(fmt.Sprintf("cpu: %s has %d cores; max %d supported", what, n, MaxCores))
 	}
 }
 
@@ -245,7 +247,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cpu: config %q has no tiers", c.Name)
 	}
 	if n := len(c.Kinds); n > MaxCores {
-		return fmt.Errorf("cpu: config %q has %d cores; affinity masks are uint64, max %d", c.Name, n, MaxCores)
+		return fmt.Errorf("cpu: config %q has %d cores; max %d supported", c.Name, n, MaxCores)
 	}
 	for i, t := range tiers {
 		if err := t.Validate(); err != nil {
@@ -457,15 +459,27 @@ var (
 // cores with DVFS ladders on every tier (ARM DynamIQ-style).
 var Config2B2M2S = NewTieredConfig(TriGearTiers(), []int{2, 2, 2}, true)
 
+// The committed big-machine palettes the mask-set affinity representation
+// unlocks (the paper's shapes stop at 8 cores; these are the server-scale
+// rungs the speed campaign benchmarks against).
+var (
+	// Config32B32M64S is a 128-core tri-gear server: 32 big + 32 medium +
+	// 64 little cores with DVFS ladders on every tier.
+	Config32B32M64S = NewTieredConfig(TriGearTiers(), []int{64, 32, 32}, true)
+	// Config64B64S is a 128-core two-tier big.LITTLE server on the paper's
+	// fixed-frequency anchor tiers.
+	Config64B64S = NewConfig(64, 64, true)
+)
+
 // EvaluatedConfigs lists the four paper platform shapes in paper order.
 func EvaluatedConfigs() []Config {
 	return []Config{Config2B2S, Config2B4S, Config4B2S, Config4B4S}
 }
 
 // NamedConfigs lists every named platform shape the tools accept: the four
-// paper shapes plus the tri-gear extension.
+// paper shapes, the tri-gear extension and the big-machine palettes.
 func NamedConfigs() []Config {
-	return append(EvaluatedConfigs(), Config2B2M2S)
+	return append(EvaluatedConfigs(), Config2B2M2S, Config32B32M64S, Config64B64S)
 }
 
 // ConfigByName returns the named config (for CLI tools), or false.

@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// Machines beyond 64 cores would silently corrupt uint64 affinity masks;
-// every construction path must refuse them loudly instead.
+// Machines beyond MaxCores exceed the affinity mask-set universe; every
+// construction path must refuse them loudly instead of corrupting affinity
+// state downstream.
 func TestMaxCoresGuards(t *testing.T) {
 	mustPanic := func(name string, f func()) {
 		t.Helper()
@@ -16,22 +17,42 @@ func TestMaxCoresGuards(t *testing.T) {
 				t.Errorf("%s: want panic on >%d cores", name, MaxCores)
 				return
 			}
-			if msg, ok := r.(string); !ok || !strings.Contains(msg, "affinity masks are uint64") {
-				t.Errorf("%s: panic %v does not explain the mask limit", name, r)
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "max 1024 supported") {
+				t.Errorf("%s: panic %v does not explain the core limit", name, r)
 			}
 		}()
 		f()
 	}
-	mustPanic("NewConfig", func() { NewConfig(40, 40, true) })
-	mustPanic("NewTieredConfig", func() { NewTieredConfig(TriGearTiers(), []int{30, 30, 30}, true) })
+	mustPanic("NewConfig", func() { NewConfig(520, 520, true) })
+	mustPanic("NewTieredConfig", func() { NewTieredConfig(TriGearTiers(), []int{400, 400, 400}, true) })
 	mustPanic("NewSymmetric", func() { NewSymmetric(Big, MaxCores+1) })
 	mustPanic("NewSymmetricTier", func() { NewSymmetricTier(TierBig, MaxCores+1) })
 
 	// A hand-built oversized Config fails Validate with the same clarity.
 	kinds := make([]Kind, MaxCores+1)
 	cfg := Config{Name: "huge", Kinds: kinds}
-	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "affinity masks are uint64") {
-		t.Errorf("Validate on %d cores = %v, want mask-limit error", len(kinds), err)
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "max 1024 supported") {
+		t.Errorf("Validate on %d cores = %v, want core-limit error", len(kinds), err)
+	}
+}
+
+// Shapes beyond the old 64-core uint64 ceiling now construct: the mask-set
+// affinity representation lifted the limit to 1024.
+func TestBeyond64CoresAccepted(t *testing.T) {
+	cfg := NewTieredConfig(TriGearTiers(), []int{30, 30, 30}, true)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("90-core machine must validate: %v", err)
+	}
+	if cfg.NumCores() != 90 {
+		t.Fatalf("cores = %d", cfg.NumCores())
+	}
+	for _, big := range []Config{Config32B32M64S, Config64B64S} {
+		if err := big.Validate(); err != nil {
+			t.Fatalf("palette %q must validate: %v", big.Name, err)
+		}
+		if big.NumCores() != 128 {
+			t.Fatalf("palette %q has %d cores, want 128", big.Name, big.NumCores())
+		}
 	}
 }
 

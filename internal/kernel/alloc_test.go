@@ -1,0 +1,139 @@
+package kernel
+
+// White-box allocation assertions for the big-machine hot path. This file
+// lives in package kernel (not kernel_test) so it can admit a workload with
+// m.start() and then drive the engine one event at a time: steady-state
+// dispatch — burst end, rotate, re-enqueue, pick-next, burst start — must
+// not allocate, and neither may RunQueues insertion once the queue slices
+// have reached capacity. The stages here are deliberately minimal
+// (least-loaded placement, leftmost-allowed selection) so the test pins the
+// kernel's own path without dragging a policy package into an import cycle.
+
+import (
+	"testing"
+
+	"colab/internal/cpu"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+type allocLeastLoaded struct{ pc *PipelineContext }
+
+func (a *allocLeastLoaded) Name() string              { return "least-loaded" }
+func (a *allocLeastLoaded) Start(pc *PipelineContext) { a.pc = pc }
+
+func (a *allocLeastLoaded) Enqueue(t *task.Thread, wakeup bool) int {
+	q := a.pc.Queues()
+	best := -1
+	for i := 0; i < q.NumQueues(); i++ {
+		if !t.AllowedOn(i) {
+			continue
+		}
+		if best < 0 || q.Len(i) < q.Len(best) {
+			best = i
+		}
+	}
+	q.Push(best, t)
+	return best
+}
+
+type selLeftmost struct{ pc *PipelineContext }
+
+func (s *selLeftmost) Name() string              { return "leftmost" }
+func (s *selLeftmost) Start(pc *PipelineContext) { s.pc = pc }
+
+func (s *selLeftmost) PickNext(c *Core) *task.Thread {
+	return s.pc.Queues().PopMinAllowed(c.ID, c.ID)
+}
+
+func (s *selLeftmost) TimeSlice(c *Core, t *task.Thread) sim.Time    { return sim.Millisecond }
+func (s *selLeftmost) VRuntimeScale(c *Core, t *task.Thread) float64 { return 1 }
+func (s *selLeftmost) WakeupPreempt(c *Core, t *task.Thread) bool    { return false }
+
+// bigMachineSpin builds a 128-core tri-gear machine running 256 compute-only
+// threads (two per core) with effectively infinite work, half of them pinned
+// to masks spanning the spilled word so the >64-core Allows path is on the
+// measured loop. Rotation via slice expiry keeps every dispatch mechanism
+// hot forever.
+func bigMachineSpin(t testing.TB) *Machine {
+	profile := cpu.WorkProfile{ILP: 0.5, BranchRate: 0.1, MemIntensity: 0.3, FPRate: 0.2}
+	app := &task.App{ID: 0, Name: "spin"}
+	var highHalf task.Mask
+	for c := 32; c < 128; c++ {
+		highHalf.Set(c)
+	}
+	for i := 0; i < 256; i++ {
+		th := &task.Thread{
+			App:     app,
+			Name:    "spin",
+			Profile: profile,
+			Program: task.Program{task.Compute{Work: 1e15}},
+		}
+		if i%2 == 1 {
+			th.Affinity = highHalf
+		}
+		app.Threads = append(app.Threads, th)
+	}
+	w := &task.Workload{Name: "spin", Apps: []*task.App{app}}
+	sched, err := NewPipeline("alloc-probe", nil, &allocLeastLoaded{}, &selLeftmost{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cpu.NewTieredConfig(cpu.TriGearTiers(), []int{64, 32, 32}, true), sched, w, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSteadyStateDispatchDoesNotAllocate admits the spin workload, lets the
+// machine reach steady state (event freelist filled, queue slices and the
+// engine heap at capacity), then asserts the event loop runs allocation-free.
+func TestSteadyStateDispatchDoesNotAllocate(t *testing.T) {
+	m := bigMachineSpin(t)
+	m.start()
+	eng := m.Engine()
+	for i := 0; i < 50000; i++ {
+		if !eng.Step() {
+			t.Fatalf("engine drained during warm-up at event %d", i)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 100; i++ {
+			if !eng.Step() {
+				t.Fatalf("engine drained during measurement")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state dispatch allocates: %.2f allocs per 100 events, want 0", avg)
+	}
+}
+
+// TestRunQueueInsertionDoesNotAllocate pins the Push/PopMinAllowed cycle at
+// zero allocations once the per-core entry slices have grown to capacity —
+// including threads whose masks spill past the inline 64-bit word.
+func TestRunQueueInsertionDoesNotAllocate(t *testing.T) {
+	const depth = 64
+	q := NewRunQueues(2)
+	ths := make([]*task.Thread, depth)
+	for i := range ths {
+		ths[i] = &task.Thread{ID: i, VRuntime: sim.Time(i), Affinity: task.MaskOf([]int{0, 1, 100 + i})}
+		q.Push(0, ths[i])
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		th := q.PopMinAllowed(0, 0)
+		th.VRuntime += depth
+		q.Push(0, th)
+	})
+	if avg != 0 {
+		t.Fatalf("queue insertion allocates: %.2f allocs/op, want 0", avg)
+	}
+	avg = testing.AllocsPerRun(1000, func() {
+		th := q.StealMaxAllowed(0, 1)
+		q.Push(0, th)
+	})
+	if avg != 0 {
+		t.Fatalf("steal cycle allocates: %.2f allocs/op, want 0", avg)
+	}
+}

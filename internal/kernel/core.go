@@ -37,6 +37,12 @@ type Core struct {
 	reschedPending bool
 	lastThread     *task.Thread // last thread that ran (to skip switch cost)
 
+	// Pre-bound event callbacks (built once at machine construction) so the
+	// steady-state dispatch loop schedules events without allocating a new
+	// closure per burst or resched.
+	burstEndFn func()
+	reschedFn  func()
+
 	// Accounting.
 	BusyTime   sim.Time
 	IdleTime   sim.Time

@@ -43,7 +43,7 @@ func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params
 		return nil, fmt.Errorf("kernel: config %q has no cores", cfg.Name)
 	}
 	if cfg.NumCores() > cpu.MaxCores {
-		return nil, fmt.Errorf("kernel: config %q has %d cores; affinity masks support %d", cfg.Name, cfg.NumCores(), cpu.MaxCores)
+		return nil, fmt.Errorf("kernel: config %q has %d cores; max %d supported", cfg.Name, cfg.NumCores(), cpu.MaxCores)
 	}
 	if len(w.Apps) == 0 {
 		return nil, fmt.Errorf("kernel: workload %q has no apps", w.Name)
@@ -70,13 +70,19 @@ func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params
 	for i, kind := range cfg.Kinds {
 		tier := cfg.Tier(i)
 		ladder := tier.Ladder()
-		m.cores = append(m.cores, &Core{
+		c := &Core{
 			ID: i, Kind: kind, Tier: tier, Spec: cfg.Spec(i),
 			ladder:    ladder,
 			opp:       len(ladder) - 1, // boot at nominal
 			busyByOPP: make([]sim.Time, len(ladder)),
 			wasIdle:   true,
-		})
+		}
+		c.burstEndFn = func() { m.onBurstEnd(c) }
+		c.reschedFn = func() {
+			c.reschedPending = false
+			m.schedule(c)
+		}
+		m.cores = append(m.cores, c)
 	}
 	id := 0
 	for _, a := range w.Apps {
@@ -93,8 +99,8 @@ func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params
 			t.ID = id
 			id++
 			t.CoreID = -1
-			if t.Affinity == 0 {
-				t.Affinity = task.AffinityAll
+			if t.Affinity.IsEmpty() {
+				t.Affinity = task.MaskAll()
 			}
 			m.live++
 		}
@@ -176,6 +182,41 @@ const ctxCheckInterval = 16384
 // as the context is done. The simulation itself is unaffected by the
 // chunked loop — event order, timestamps and results are identical to Run.
 func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
+	m.start()
+	remaining := m.params.MaxEvents
+	for !m.done && remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kernel: %q under %s cancelled at %v: %w",
+				m.workload.Name, m.sched.Name(), m.eng.Now(), err)
+		}
+		chunk := uint64(ctxCheckInterval)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		fired := m.eng.Run(chunk)
+		remaining -= fired
+		if fired < chunk {
+			// Queue drained (or Stop): no further events will fire.
+			break
+		}
+	}
+	if !m.done {
+		if m.eng.Pending() == 0 {
+			return nil, fmt.Errorf("kernel: deadlock in %q under %s: %d threads alive with no pending events",
+				m.workload.Name, m.sched.Name(), m.live)
+		}
+		return nil, fmt.Errorf("kernel: event budget %d exhausted for %q under %s at %v",
+			m.params.MaxEvents, m.workload.Name, m.sched.Name(), m.eng.Now())
+	}
+	return m.buildResult(), nil
+}
+
+// start installs the policy and performs the time-zero admission: apps
+// with Arrival == 0 are admitted immediately, later arrivals get
+// timestamped admission events. Extracted from RunContext so tests (the
+// allocation assertions) can admit a workload and then step the engine
+// manually instead of driving the whole run.
+func (m *Machine) start() {
 	m.sched.Start(m)
 	var late []*task.App
 	for _, a := range m.workload.Apps {
@@ -214,32 +255,6 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 		a := a
 		m.eng.After(a.Arrival, func() { m.admitApp(a) })
 	}
-	remaining := m.params.MaxEvents
-	for !m.done && remaining > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("kernel: %q under %s cancelled at %v: %w",
-				m.workload.Name, m.sched.Name(), m.eng.Now(), err)
-		}
-		chunk := uint64(ctxCheckInterval)
-		if chunk > remaining {
-			chunk = remaining
-		}
-		fired := m.eng.Run(chunk)
-		remaining -= fired
-		if fired < chunk {
-			// Queue drained (or Stop): no further events will fire.
-			break
-		}
-	}
-	if !m.done {
-		if m.eng.Pending() == 0 {
-			return nil, fmt.Errorf("kernel: deadlock in %q under %s: %d threads alive with no pending events",
-				m.workload.Name, m.sched.Name(), m.live)
-		}
-		return nil, fmt.Errorf("kernel: event budget %d exhausted for %q under %s at %v",
-			m.params.MaxEvents, m.workload.Name, m.sched.Name(), m.eng.Now())
-	}
-	return m.buildResult(), nil
 }
 
 // admitApp introduces one open-system app at its arrival time: the policy
@@ -334,7 +349,7 @@ func (m *Machine) advance(t *task.Thread) threadStatus {
 func (m *Machine) blockThread(t *task.Thread) {
 	t.State = task.Blocked
 	t.WaitStart = m.eng.Now()
-	m.emit(TraceBlock, t.CoreID, t.String())
+	m.emitT(TraceBlock, t.CoreID, t)
 }
 
 func (m *Machine) doSleep(t *task.Thread, d sim.Time) {
@@ -364,7 +379,7 @@ func (m *Machine) wakeThread(t *task.Thread, blamer *task.Thread) {
 	t.TotalCounters[cpu.CtrQuiesceCycles] += q
 	t.IntervalCounters[cpu.CtrQuiesceCycles] += q
 	t.PC++ // the blocking op completed
-	m.emit(TraceWake, -1, t.String())
+	m.emitT(TraceWake, -1, t)
 	// Advance through the ops that follow: initialise the next compute
 	// segment, or block again, or retire.
 	switch m.advance(t) {
@@ -427,7 +442,7 @@ func (m *Machine) preemptCore(c *Core) {
 	c.Current = nil
 	t.State = task.Ready
 	t.Preemptions++
-	m.emit(TracePreempt, c.ID, t.String())
+	m.emitT(TracePreempt, c.ID, t)
 	m.makeReady(t, false)
 	m.resched(c)
 }
@@ -440,10 +455,7 @@ func (m *Machine) resched(c *Core) {
 		return
 	}
 	c.reschedPending = true
-	m.eng.After(0, func() {
-		c.reschedPending = false
-		m.schedule(c)
-	})
+	m.eng.After(0, c.reschedFn)
 }
 
 func (m *Machine) schedule(c *Core) {
@@ -492,9 +504,9 @@ func (m *Machine) schedule(c *Core) {
 	if t.CoreID >= 0 && t.CoreID != c.ID {
 		cost += m.params.MigrationCost
 		t.Migrations++
-		m.emit(TraceMigrate, c.ID, t.String())
+		m.emitT(TraceMigrate, c.ID, t)
 	}
-	m.emit(TraceDispatch, c.ID, t.String())
+	m.emitT(TraceDispatch, c.ID, t)
 	c.Current = t
 	c.lastThread = t
 	t.State = task.Running
@@ -538,7 +550,7 @@ func (m *Machine) startBurst(c *Core, delay sim.Time) {
 	}
 	c.burstStart = begin
 	c.burstRun = run
-	c.burstEv = m.eng.After(delay+run, func() { m.onBurstEnd(c) })
+	c.burstEv = m.eng.After(delay+run, c.burstEndFn)
 }
 
 // stopBurst cancels the pending burst event and accrues any execution that
@@ -589,7 +601,7 @@ func (m *Machine) onBurstEnd(c *Core) {
 			// Slice expired: rotate through the policy.
 			c.Current = nil
 			t.State = task.Ready
-			m.emit(TraceRotate, c.ID, t.String())
+			m.emitT(TraceRotate, c.ID, t)
 			m.makeReady(t, false)
 			m.resched(c)
 			return
@@ -638,7 +650,7 @@ func (m *Machine) finishThread(t *task.Thread) {
 	now := m.eng.Now()
 	t.State = task.Done
 	t.FinishTime = now
-	m.emit(TraceDone, t.CoreID, t.String())
+	m.emitT(TraceDone, t.CoreID, t)
 	t.App.NoteThreadDone(now)
 	m.sched.ThreadDone(t)
 	m.live--

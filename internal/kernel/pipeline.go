@@ -257,6 +257,53 @@ func (q *RunQueues) StealMax(core int, allow func(*task.Thread) bool) *task.Thre
 	return q.removeAt(core, best)
 }
 
+// PopMinAllowed is PopMin with the filter fixed to "may run on core dest":
+// the selector hot path, closure-free so steady-state dispatch does not
+// allocate a predicate per pick.
+func (q *RunQueues) PopMinAllowed(core, dest int) *task.Thread {
+	es := q.qs[core]
+	best := -1
+	for i := range es {
+		if !es[i].t.AllowedOn(dest) {
+			continue
+		}
+		if best < 0 || entryLess(es[i], es[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	if es[best].vr > q.minVR[core] {
+		q.minVR[core] = es[best].vr
+	}
+	return q.removeAt(core, best)
+}
+
+// StealMaxAllowed is StealMax with the filter fixed to "may run on core
+// dest": the idle-balance hot path, closure-free like PopMinAllowed.
+func (q *RunQueues) StealMaxAllowed(core, dest int) *task.Thread {
+	es := q.qs[core]
+	best := -1
+	for i := range es {
+		if !es[i].t.AllowedOn(dest) {
+			continue
+		}
+		if best < 0 || entryLess(es[best], es[i]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return q.removeAt(core, best)
+}
+
+// Thread returns the i'th queued thread on core in insertion order
+// (0 <= i < Len(core)) — the closure-free counterpart of Each for scans
+// that must not allocate (COLAB's criticality sweeps).
+func (q *RunQueues) Thread(core, i int) *task.Thread { return q.qs[core][i].t }
+
 // Remove deletes t from whichever queue holds it, reporting whether it was
 // queued. The vruntime floor is untouched (matching CFS dequeue).
 func (q *RunQueues) Remove(t *task.Thread) bool {

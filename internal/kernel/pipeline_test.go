@@ -12,7 +12,7 @@ import (
 )
 
 func rqThread(id int, vr sim.Time) *task.Thread {
-	t := &task.Thread{ID: id, Affinity: task.AffinityAll}
+	t := &task.Thread{ID: id, Affinity: task.MaskAll()}
 	t.VRuntime = vr
 	return t
 }

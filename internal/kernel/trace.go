@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"colab/internal/sim"
+	"colab/internal/task"
 )
 
 // TraceKind labels one scheduling event in an execution trace.
@@ -56,4 +57,14 @@ func (m *Machine) emit(kind TraceKind, core int, thread string) {
 		return
 	}
 	m.tracer(TraceEvent{At: m.eng.Now(), Kind: kind, Core: core, Thread: thread})
+}
+
+// emitT is emit for thread events: the thread identity string is only
+// rendered when a tracer is installed, keeping the hot path allocation-free
+// in the untraced steady state.
+func (m *Machine) emitT(kind TraceKind, core int, t *task.Thread) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer(TraceEvent{At: m.eng.Now(), Kind: kind, Core: core, Thread: t.String()})
 }

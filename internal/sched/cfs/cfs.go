@@ -1,21 +1,26 @@
 // Package cfs re-implements the Linux Completely Fair Scheduler on the
-// simulated kernel: per-core run queues ordered by virtual runtime in a
-// red-black tree, least-loaded wake-up placement, sleeper credit, idle-time
-// stealing and wake-up preemption with a granularity guard.
+// simulated kernel: per-core run queues ordered by virtual runtime,
+// least-loaded wake-up placement, sleeper credit, idle-time stealing and
+// wake-up preemption with a granularity guard.
 //
 // CFS is both the paper's Linux baseline and the mechanical base layer the
 // affinity-only policies (WASH, GTS) drive: they adjust thread affinity
 // masks every labeling interval and leave allocation/selection to CFS.
+//
+// The policy is the composition of its two pipeline stages (AllocatorStage
+// and SelectorStage in stages.go) over the pipeline's shared RunQueues.
+// The original monolithic implementation kept each core's timeline in a
+// red-black tree; the golden corpus proved the stage decomposition
+// bit-identical, and BenchmarkSelectorLinearVsRbtree showed the linear
+// shared queues faster (and allocation-free) at every realistic per-queue
+// depth, so the monolith was collapsed onto the stages (docs/TUNING.md
+// records the numbers). The rbtree timeline survives only as the benchmark
+// baseline in selectorbench_test.go.
 package cfs
 
 import (
-	"fmt"
-	"sort"
-
 	"colab/internal/kernel"
-	"colab/internal/rbtree"
 	"colab/internal/sim"
-	"colab/internal/task"
 )
 
 // Options tune the CFS latency targets (Linux defaults scaled to the
@@ -49,288 +54,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-type entry struct {
-	t   *task.Thread
-	vr  sim.Time
-	seq uint64
-}
-
-func entryLess(a, b entry) bool {
-	if a.vr != b.vr {
-		return a.vr < b.vr
-	}
-	return a.seq < b.seq
-}
-
-// runqueue is one core's CFS timeline.
-type runqueue struct {
-	coreID int
-	tree   *rbtree.Tree[entry]
-	nodes  map[*task.Thread]*rbtree.Node[entry]
-	minVR  sim.Time
-	seq    uint64
-}
-
-func newRunqueue(core int) *runqueue {
-	return &runqueue{coreID: core, tree: rbtree.New(entryLess), nodes: make(map[*task.Thread]*rbtree.Node[entry])}
-}
-
-func (rq *runqueue) len() int { return rq.tree.Len() }
-
-func (rq *runqueue) push(t *task.Thread) {
-	if _, dup := rq.nodes[t]; dup {
-		panic(fmt.Sprintf("cfs: thread %v enqueued twice on cpu%d", t, rq.coreID))
-	}
-	rq.seq++
-	rq.nodes[t] = rq.tree.Insert(entry{t: t, vr: t.VRuntime, seq: rq.seq})
-}
-
-func (rq *runqueue) remove(t *task.Thread) bool {
-	n, ok := rq.nodes[t]
-	if !ok {
-		return false
-	}
-	rq.tree.Delete(n)
-	delete(rq.nodes, t)
-	return true
-}
-
-func (rq *runqueue) popLeftmost() *task.Thread {
-	n := rq.tree.Min()
-	if n == nil {
-		return nil
-	}
-	t := n.Value.t
-	if n.Value.vr > rq.minVR {
-		rq.minVR = n.Value.vr
-	}
-	rq.tree.Delete(n)
-	delete(rq.nodes, t)
-	return t
-}
-
-// peekLeftmost returns the next thread without removing it.
-func (rq *runqueue) peekLeftmost() *task.Thread {
-	n := rq.tree.Min()
-	if n == nil {
-		return nil
-	}
-	return n.Value.t
-}
-
-// stealRightmost removes and returns the rightmost (least entitled) thread
-// satisfying allow, or nil.
-func (rq *runqueue) stealRightmost(allow func(*task.Thread) bool) *task.Thread {
-	for n := rq.tree.Max(); n != nil; n = rq.tree.Prev(n) {
-		if allow(n.Value.t) {
-			t := n.Value.t
-			rq.tree.Delete(n)
-			delete(rq.nodes, t)
-			return t
-		}
-	}
-	return nil
-}
-
-// Policy is the CFS scheduling policy. It also serves as an embeddable base
-// for affinity-driven policies (WASH, GTS).
+// Policy is the CFS scheduling policy: the allocator and selector stages
+// composed into a pipeline named "linux".
 type Policy struct {
+	kernel.Scheduler
 	opts Options
-	m    *kernel.Machine
-	rqs  []*runqueue
 }
 
 // New returns a CFS policy.
 func New(opts Options) *Policy {
-	return &Policy{opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	s, err := kernel.NewPipeline("linux", nil, NewAllocator(opts), NewSelector(opts), nil)
+	if err != nil {
+		panic(err) // both mandatory stages are supplied above
+	}
+	return &Policy{Scheduler: s, opts: opts}
 }
-
-// Name implements kernel.Scheduler.
-func (p *Policy) Name() string { return "linux" }
-
-// Machine returns the machine the policy runs on (for embedders).
-func (p *Policy) Machine() *kernel.Machine { return p.m }
 
 // Options returns the effective options.
 func (p *Policy) Options() Options { return p.opts }
-
-// Start implements kernel.Scheduler.
-func (p *Policy) Start(m *kernel.Machine) {
-	p.m = m
-	p.rqs = p.rqs[:0]
-	for i := range m.Cores() {
-		p.rqs = append(p.rqs, newRunqueue(i))
-	}
-}
-
-// Admit implements kernel.Scheduler.
-func (p *Policy) Admit(t *task.Thread) {}
-
-// load is the CFS placement load of a core: queued plus running threads.
-func (p *Policy) load(core int) int {
-	n := p.rqs[core].len()
-	if p.m.Cores()[core].Current != nil {
-		n++
-	}
-	return n
-}
-
-// Enqueue implements kernel.Scheduler: least-loaded placement among allowed
-// cores (asymmetry-blind), with sleeper vruntime credit on wake-up.
-func (p *Policy) Enqueue(t *task.Thread, wakeup bool) int {
-	core := p.leastLoadedAllowed(t)
-	p.Place(t, core, wakeup)
-	return core
-}
-
-// QueueLen returns the number of threads queued (not running) on core.
-func (p *Policy) QueueLen(core int) int { return p.rqs[core].len() }
-
-// PopLocal removes and returns the leftmost thread of core's own queue,
-// nil when empty. Exported for embedders with custom stealing rules.
-func (p *Policy) PopLocal(core int) *task.Thread { return p.rqs[core].popLeftmost() }
-
-// StealInto steals the least-entitled thread runnable on core from the
-// busiest of the given source queues, nil when nothing is stealable.
-// Exported for embedders with custom stealing rules.
-func (p *Policy) StealInto(core int, from []int) *task.Thread {
-	order := make([]*runqueue, 0, len(from))
-	for _, i := range from {
-		if i != core && p.rqs[i].len() > 0 {
-			order = append(order, p.rqs[i])
-		}
-	}
-	sort.Slice(order, func(a, b int) bool { return order[a].len() > order[b].len() })
-	for _, o := range order {
-		if t := o.stealRightmost(func(t *task.Thread) bool { return t.AllowedOn(core) }); t != nil {
-			return t
-		}
-	}
-	return nil
-}
-
-// LeastLoadedAllowed picks the allowed core with the smallest load,
-// breaking ties by core index. With an unsatisfiable mask it falls back to
-// all cores rather than wedging the thread. Exported for embedders that
-// need the CFS fallback placement.
-func (p *Policy) LeastLoadedAllowed(t *task.Thread) int { return p.leastLoadedAllowed(t) }
-
-// leastLoadedAllowed picks the allowed core with the smallest load,
-// breaking ties by core index. With an unsatisfiable mask it falls back to
-// all cores rather than wedging the thread.
-func (p *Policy) leastLoadedAllowed(t *task.Thread) int {
-	best, bestLoad := -1, int(^uint(0)>>1)
-	for i := range p.rqs {
-		if !t.AllowedOn(i) {
-			continue
-		}
-		if l := p.load(i); l < bestLoad {
-			best, bestLoad = i, l
-		}
-	}
-	if best < 0 {
-		t.Affinity = task.AffinityAll
-		return p.leastLoadedAllowed(t)
-	}
-	return best
-}
-
-// Place inserts t into core's run queue, applying vruntime placement rules.
-// Exported for embedders that do their own core allocation.
-func (p *Policy) Place(t *task.Thread, core int, wakeup bool) {
-	rq := p.rqs[core]
-	floor := rq.minVR
-	if wakeup {
-		floor -= p.opts.SleeperCredit
-	}
-	if t.VRuntime < floor {
-		t.VRuntime = floor
-	}
-	rq.push(t)
-}
-
-// Dequeue removes t from whichever run queue holds it (for re-labeling).
-func (p *Policy) Dequeue(t *task.Thread) bool {
-	for _, rq := range p.rqs {
-		if rq.remove(t) {
-			return true
-		}
-	}
-	return false
-}
-
-// QueuedOn returns the core whose run queue currently holds t, or -1.
-func (p *Policy) QueuedOn(t *task.Thread) int {
-	for i, rq := range p.rqs {
-		if _, ok := rq.nodes[t]; ok {
-			return i
-		}
-	}
-	return -1
-}
-
-// PickNext implements kernel.Scheduler: leftmost of the local queue, else
-// idle-balance steal of the least-entitled allowed thread from the busiest
-// queue.
-func (p *Policy) PickNext(c *kernel.Core) *task.Thread {
-	rq := p.rqs[c.ID]
-	if t := rq.popLeftmost(); t != nil {
-		return t
-	}
-	// Idle balance: steal from other queues, busiest first, skipping queues
-	// whose threads this core may not run.
-	order := make([]*runqueue, 0, len(p.rqs)-1)
-	for i, o := range p.rqs {
-		if i != c.ID && o.len() > 0 {
-			order = append(order, o)
-		}
-	}
-	sort.Slice(order, func(a, b int) bool { return order[a].len() > order[b].len() })
-	for _, o := range order {
-		if t := o.stealRightmost(func(t *task.Thread) bool { return t.AllowedOn(c.ID) }); t != nil {
-			return t
-		}
-	}
-	return nil
-}
-
-// NrRunning returns the number of runnable threads associated with core
-// (queued plus running), minimum 1, for slice computation.
-func (p *Policy) NrRunning(c *kernel.Core) int {
-	n := p.rqs[c.ID].len()
-	if c.Current != nil {
-		n++
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-// TimeSlice implements kernel.Scheduler: target latency divided by the
-// number of runnable threads, floored at the minimum granularity.
-func (p *Policy) TimeSlice(c *kernel.Core, t *task.Thread) sim.Time {
-	slice := p.opts.TargetLatency / sim.Time(p.NrRunning(c))
-	if slice < p.opts.MinGranularity {
-		slice = p.opts.MinGranularity
-	}
-	return slice
-}
-
-// VRuntimeScale implements kernel.Scheduler: CFS charges wall-clock time.
-func (p *Policy) VRuntimeScale(c *kernel.Core, t *task.Thread) float64 { return 1 }
-
-// WakeupPreempt implements kernel.Scheduler: preempt when the woken thread
-// is behind the running one by more than the wake-up granularity.
-func (p *Policy) WakeupPreempt(c *kernel.Core, t *task.Thread) bool {
-	cur := c.Current
-	if cur == nil {
-		return false
-	}
-	return cur.VRuntime-t.VRuntime > p.opts.WakeupGranularity
-}
-
-// ThreadDone implements kernel.Scheduler.
-func (p *Policy) ThreadDone(t *task.Thread) {}
 
 var _ kernel.Scheduler = (*Policy)(nil)

@@ -1,0 +1,179 @@
+package cfs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"colab/internal/kernel"
+	"colab/internal/mathx"
+	"colab/internal/rbtree"
+	"colab/internal/sim"
+	"colab/internal/task"
+)
+
+// The evidence behind the selector collapse (docs/TUNING.md): the original
+// CFS monolith kept each core's timeline in a red-black tree, while the
+// pipeline's shared RunQueues use an insertion-ordered slice scanned
+// linearly. This file holds the rbtree timeline as a benchmark baseline —
+// re-implemented here, since the monolith was collapsed onto the pipeline
+// stages — and races the two on the dispatch cycle (pop the leftmost
+// allowed thread, run, push it back) at per-queue depths bracketing what a
+// saturated 128-core machine actually sees.
+
+// rbEntry mirrors kernel.RunQueues' (vruntime, push order) timeline key.
+type rbEntry struct {
+	t   *task.Thread
+	vr  sim.Time
+	seq uint64
+}
+
+func rbLess(a, b rbEntry) bool {
+	if a.vr != b.vr {
+		return a.vr < b.vr
+	}
+	return a.seq < b.seq
+}
+
+// rbQueue is one core's timeline as the CFS monolith kept it: a red-black
+// tree plus a node index for O(log n) removal.
+type rbQueue struct {
+	tree  *rbtree.Tree[rbEntry]
+	nodes map[*task.Thread]*rbtree.Node[rbEntry]
+	seq   uint64
+	minVR sim.Time
+}
+
+func newRBQueue() *rbQueue {
+	return &rbQueue{tree: rbtree.New(rbLess), nodes: make(map[*task.Thread]*rbtree.Node[rbEntry])}
+}
+
+func (rq *rbQueue) push(t *task.Thread) {
+	rq.seq++
+	rq.nodes[t] = rq.tree.Insert(rbEntry{t: t, vr: t.VRuntime, seq: rq.seq})
+}
+
+// popMinAllowed removes and returns the leftmost thread allowed on dest.
+func (rq *rbQueue) popMinAllowed(dest int) *task.Thread {
+	for n := rq.tree.Min(); n != nil; n = rq.tree.Next(n) {
+		if !n.Value.t.AllowedOn(dest) {
+			continue
+		}
+		t := n.Value.t
+		if n.Value.vr > rq.minVR {
+			rq.minVR = n.Value.vr
+		}
+		rq.tree.Delete(n)
+		delete(rq.nodes, t)
+		return t
+	}
+	return nil
+}
+
+// stealMaxAllowed removes and returns the rightmost thread allowed on dest.
+func (rq *rbQueue) stealMaxAllowed(dest int) *task.Thread {
+	for n := rq.tree.Max(); n != nil; n = rq.tree.Prev(n) {
+		if !n.Value.t.AllowedOn(dest) {
+			continue
+		}
+		t := n.Value.t
+		rq.tree.Delete(n)
+		delete(rq.nodes, t)
+		return t
+	}
+	return nil
+}
+
+// The two timelines must agree on pop and steal order under random mixed
+// traffic, or the benchmark would be racing different semantics.
+func TestLinearAndRbtreeTimelinesAgree(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	lin := kernel.NewRunQueues(1)
+	rb := newRBQueue()
+	var live []*task.Thread
+	for id := 0; id < 2000; id++ {
+		switch op := rng.IntN(4); {
+		case op <= 1 || len(live) == 0: // push a fresh thread
+			th := &task.Thread{ID: id, VRuntime: sim.Time(rng.IntN(50))}
+			th.Affinity = task.MaskAll()
+			if rng.IntN(8) == 0 {
+				th.Affinity = task.MaskOf([]int{1}) // not allowed on core 0
+			}
+			lin.Push(0, th)
+			rb.push(th)
+			live = append(live, th)
+		case op == 2:
+			a, b := lin.PopMinAllowed(0, 0), rb.popMinAllowed(0)
+			if a != b {
+				t.Fatalf("PopMin diverged: linear %v, rbtree %v", a, b)
+			}
+			live = drop(live, a)
+		default:
+			a, b := lin.StealMaxAllowed(0, 0), rb.stealMaxAllowed(0)
+			if a != b {
+				t.Fatalf("StealMax diverged: linear %v, rbtree %v", a, b)
+			}
+			live = drop(live, a)
+		}
+	}
+	if got := rb.tree.Validate(); got != "" {
+		t.Fatalf("rbtree invariant broken: %s", got)
+	}
+}
+
+func drop(live []*task.Thread, t *task.Thread) []*task.Thread {
+	if t == nil {
+		return live
+	}
+	// Also drain the counterpart structures' bookkeeping for pinned threads
+	// left behind: nothing to do, both keep them queued identically.
+	for i, x := range live {
+		if x == t {
+			return append(live[:i], live[i+1:]...)
+		}
+	}
+	return live
+}
+
+// BenchmarkSelectorLinearVsRbtree races one dispatch cycle (pop leftmost
+// allowed + push back with advanced vruntime) on both timeline
+// representations across per-queue depths. A saturated 128-core machine
+// with ~512 runnable threads holds ~4 threads per queue; depth 64+ only
+// occurs when a single queue absorbs an entire machine's backlog.
+func BenchmarkSelectorLinearVsRbtree(b *testing.B) {
+	depths := []int{4, 16, 64, 256}
+	mkThreads := func(n int) []*task.Thread {
+		ths := make([]*task.Thread, n)
+		for i := range ths {
+			ths[i] = &task.Thread{ID: i, VRuntime: sim.Time(i * 1000), Affinity: task.MaskAll()}
+		}
+		return ths
+	}
+	for _, depth := range depths {
+		b.Run(fmt.Sprintf("linear/depth=%d", depth), func(b *testing.B) {
+			q := kernel.NewRunQueues(1)
+			for _, th := range mkThreads(depth) {
+				q.Push(0, th)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := q.PopMinAllowed(0, 0)
+				t.VRuntime += sim.Time(1000 * depth)
+				q.Push(0, t)
+			}
+		})
+		b.Run(fmt.Sprintf("rbtree/depth=%d", depth), func(b *testing.B) {
+			q := newRBQueue()
+			for _, th := range mkThreads(depth) {
+				q.push(th)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := q.popMinAllowed(0)
+				t.VRuntime += sim.Time(1000 * depth)
+				q.push(t)
+			}
+		})
+	}
+}

@@ -1,8 +1,6 @@
 package cfs
 
 import (
-	"sort"
-
 	"colab/internal/kernel"
 	"colab/internal/sim"
 	"colab/internal/task"
@@ -63,7 +61,7 @@ func (a *AllocatorStage) leastLoadedAllowed(t *task.Thread) int {
 		}
 	}
 	if best < 0 {
-		t.Affinity = task.AffinityAll
+		t.Affinity = task.MaskAll()
 		return a.leastLoadedAllowed(t)
 	}
 	return best
@@ -94,9 +92,10 @@ func (a *AllocatorStage) LeastLoadedAllowed(t *task.Thread) int { return a.least
 // from the busiest queue, plus the CFS slice/preemption rules. Registered
 // as "linux.selector"; WASH and GTS alias it.
 type SelectorStage struct {
-	opts   Options
-	pc     *kernel.PipelineContext
-	allIDs []int
+	opts    Options
+	pc      *kernel.PipelineContext
+	allIDs  []int
+	scratch []int // reused steal-order buffer (hot path: no per-call alloc)
 }
 
 // NewSelector returns the CFS selector stage.
@@ -132,7 +131,7 @@ func (s *SelectorStage) PickNext(c *kernel.Core) *task.Thread {
 // it protects hybrids whose allocator queues affinity-blind, COLAB-style.
 // Exported for selector stages with custom stealing rules.
 func (s *SelectorStage) PopLocal(core int) *task.Thread {
-	return s.pc.Queues().PopMin(core, func(t *task.Thread) bool { return t.AllowedOn(core) })
+	return s.pc.Queues().PopMinAllowed(core, core)
 }
 
 // StealInto steals the least-entitled thread runnable on core from the
@@ -140,15 +139,23 @@ func (s *SelectorStage) PopLocal(core int) *task.Thread {
 // Exported for selector stages with custom stealing rules (EAS).
 func (s *SelectorStage) StealInto(core int, from []int) *task.Thread {
 	q := s.pc.Queues()
-	order := make([]int, 0, len(from))
+	order := s.scratch[:0]
 	for _, i := range from {
 		if i != core && q.Len(i) > 0 {
 			order = append(order, i)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return q.Len(order[a]) > q.Len(order[b]) })
+	// Busiest first; stable insertion sort so equal-length queues keep their
+	// from-order (identical to sort.Slice on the small slices it small-sorts)
+	// without allocating a comparator per call.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && q.Len(order[j]) > q.Len(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	s.scratch = order
 	for _, i := range order {
-		if t := q.StealMax(i, func(t *task.Thread) bool { return t.AllowedOn(core) }); t != nil {
+		if t := q.StealMaxAllowed(i, core); t != nil {
 			return t
 		}
 	}

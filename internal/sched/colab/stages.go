@@ -283,41 +283,47 @@ func (s *SelectorStage) PickNext(c *kernel.Core) *task.Thread {
 }
 
 // takeMaxBlame pops the most blocking thread allowed on core from queue q.
+// The scan is an index loop over the insertion-ordered queue (not an Each
+// closure) so the per-dispatch criticality sweep does not allocate.
 func (s *SelectorStage) takeMaxBlame(q, core int) *task.Thread {
+	qs := s.pc.Queues()
 	var best *task.Thread
-	s.pc.Queues().Each(q, func(t *task.Thread) {
+	for i, n := 0, qs.Len(q); i < n; i++ {
+		t := qs.Thread(q, i)
 		if !t.AllowedOn(core) {
-			return
+			continue
 		}
 		if best == nil || s.moreCritical(t, best) {
 			best = t
 		}
-	})
+	}
 	if best == nil {
 		return nil
 	}
-	if !s.pc.Queues().Remove(best) {
+	if !qs.Remove(best) {
 		panic(fmt.Sprintf("colab: thread %v not found in cpu%d queue", best, q))
 	}
 	return best
 }
 
 // scanMaxBlame finds (without removing) the most blocking stealable thread
-// across the queues of the listed cores.
+// across the queues of the listed cores, allocation-free like takeMaxBlame.
 func (s *SelectorStage) scanMaxBlame(ids []int, c *kernel.Core) *task.Thread {
+	qs := s.pc.Queues()
 	var best *task.Thread
 	for _, id := range ids {
 		if id == c.ID {
 			continue
 		}
-		s.pc.Queues().Each(id, func(t *task.Thread) {
+		for i, n := 0, qs.Len(id); i < n; i++ {
+			t := qs.Thread(id, i)
 			if !t.AllowedOn(c.ID) {
-				return
+				continue
 			}
 			if best == nil || s.moreCritical(t, best) {
 				best = t
 			}
-		})
+		}
 	}
 	return best
 }

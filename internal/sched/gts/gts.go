@@ -81,7 +81,7 @@ type LabelerStage struct {
 	// tierMask[k] is the affinity mask of tier k's cores; unpopulated
 	// tiers borrow the nearest populated tier's mask (below first, then
 	// above), so symmetric machines degenerate to a single rung.
-	tierMask []uint64
+	tierMask []task.Mask
 	topTier  int
 }
 
@@ -100,12 +100,12 @@ func (l *LabelerStage) Start(pc *kernel.PipelineContext) {
 	l.threads = make(map[*task.Thread]*info)
 	l.lastAt = 0
 	l.topTier = m.NumTiers() - 1
-	l.tierMask = make([]uint64, m.NumTiers())
+	l.tierMask = make([]task.Mask, m.NumTiers())
 	for tier := range l.tierMask {
 		l.tierMask[tier] = task.MaskOf(m.TierCoreIDs(tier))
 	}
 	for tier := range l.tierMask {
-		if l.tierMask[tier] == 0 {
+		if l.tierMask[tier].IsEmpty() {
 			l.tierMask[tier] = l.nearestMask(tier)
 		}
 	}
@@ -114,16 +114,16 @@ func (l *LabelerStage) Start(pc *kernel.PipelineContext) {
 
 // nearestMask finds the mask of the nearest populated tier, preferring
 // lower tiers (down-migration is always safe).
-func (l *LabelerStage) nearestMask(tier int) uint64 {
+func (l *LabelerStage) nearestMask(tier int) task.Mask {
 	for d := 1; d <= l.topTier; d++ {
-		if lo := tier - d; lo >= 0 && l.tierMask[lo] != 0 {
+		if lo := tier - d; lo >= 0 && !l.tierMask[lo].IsEmpty() {
 			return l.tierMask[lo]
 		}
-		if hi := tier + d; hi <= l.topTier && l.tierMask[hi] != 0 {
+		if hi := tier + d; hi <= l.topTier && !l.tierMask[hi].IsEmpty() {
 			return l.tierMask[hi]
 		}
 	}
-	return task.AffinityAll
+	return task.MaskAll()
 }
 
 // Admit implements kernel.Labeler.
@@ -131,7 +131,7 @@ func (l *LabelerStage) Admit(t *task.Thread) {
 	// New threads start heavy (GTS boots threads on the fastest tier):
 	// optimistic load.
 	l.threads[t] = &info{load: 1, tier: l.topTier}
-	t.Affinity = task.AffinityAll
+	t.Affinity = task.MaskAll()
 }
 
 // ThreadDone implements kernel.Labeler.
@@ -178,7 +178,7 @@ func (l *LabelerStage) sample() {
 		h := l.pc.Hints().Get(t)
 		h.TargetTier, h.Util = in.tier, in.load
 		mask := l.tierMask[in.tier]
-		if t.Affinity != mask {
+		if !t.Affinity.Equal(mask) {
 			t.Affinity = mask
 			l.pc.Requeue(t)
 		}

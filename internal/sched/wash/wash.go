@@ -93,8 +93,8 @@ type LabelerStage struct {
 	pc      *kernel.PipelineContext
 	threads map[*task.Thread]*info
 
-	bigMask    uint64
-	littleMask uint64
+	bigMask    task.Mask
+	littleMask task.Mask
 }
 
 // NewLabeler returns the WASH labeler stage.
@@ -112,7 +112,7 @@ func (l *LabelerStage) Start(pc *kernel.PipelineContext) {
 	l.threads = make(map[*task.Thread]*info)
 	l.bigMask = task.MaskOf(m.BigCoreIDs())
 	l.littleMask = task.MaskOf(m.LittleCoreIDs())
-	if l.littleMask == 0 { // symmetric all-big machine: nothing to steer
+	if l.littleMask.IsEmpty() { // symmetric all-big machine: nothing to steer
 		l.littleMask = l.bigMask
 	}
 	m.Engine().After(l.opts.Interval, l.label)
@@ -176,16 +176,16 @@ func (l *LabelerStage) label() {
 		// only *biases* placement; undifferentiated threads are left to the
 		// underlying Linux scheduler).
 		bottleneck := in.blameEWMA > bMean && in.blameEWMA > 0
-		var mask uint64
+		var mask task.Mask
 		switch {
 		case score > l.opts.Band || bottleneck:
 			mask = l.bigMask
 		case score < -l.opts.Band:
 			mask = l.littleMask
 		default:
-			mask = task.AffinityAll
+			mask = task.MaskAll()
 		}
-		if t.Affinity != mask {
+		if !t.Affinity.Equal(mask) {
 			t.Affinity = mask
 			// Re-place queued threads whose queue no longer matches the
 			// mask, the effect sched_setaffinity has on a waiting task.

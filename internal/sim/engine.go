@@ -42,6 +42,13 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
 // Event is a scheduled callback. Events are single-shot; cancelling an event
 // that already fired is a no-op.
+//
+// Handle lifetime: the engine recycles Event objects through an internal
+// freelist so steady-state scheduling does not allocate. A handle returned
+// by At/After is valid until its callback fires or it is cancelled; after
+// either, the holder must drop the handle — the same object may be reissued
+// for a later, unrelated scheduling, and a stale Cancel would then kill
+// that event.
 type Event struct {
 	at       Time
 	seq      uint64 // tie-break: FIFO among equal timestamps
@@ -78,6 +85,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
+	free    []*Event // fired/collected events awaiting reuse
 	stopped bool
 	// Processed counts fired (non-cancelled) events, for tests and stats.
 	Processed uint64
@@ -102,7 +110,14 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -127,12 +142,20 @@ func (e *Engine) Cancel(ev *Event) {
 // Stop makes the current Run call return after the in-flight event.
 func (e *Engine) Stop() { e.stopped = true }
 
+// recycle returns a popped event to the freelist, dropping its closure so
+// captured state does not outlive the event.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // Step fires the next pending event. It reports whether an event fired
 // (false when the queue is empty).
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
@@ -142,6 +165,7 @@ func (e *Engine) Step() bool {
 		if e.PostStep != nil {
 			e.PostStep()
 		}
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -171,7 +195,7 @@ func (e *Engine) RunUntil(deadline Time) {
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.canceled {
-			heap.Pop(&e.queue)
+			e.recycle(heap.Pop(&e.queue).(*Event))
 			continue
 		}
 		if next.at > deadline {

@@ -158,20 +158,6 @@ func (a *App) NoteThreadDone(now sim.Time) {
 	}
 }
 
-// AffinityAll is the affinity mask allowing every core (up to 64 cores).
-const AffinityAll uint64 = ^uint64(0)
-
-// MaskOf builds an affinity mask admitting exactly the listed core indices.
-func MaskOf(cores []int) uint64 {
-	var m uint64
-	for _, c := range cores {
-		if c >= 0 && c < 64 {
-			m |= 1 << uint(c)
-		}
-	}
-	return m
-}
-
 // Thread is one schedulable entity. Static fields (program, profile) are
 // set by the workload generator; runtime fields are owned by the kernel and
 // the active scheduling policy.
@@ -190,7 +176,7 @@ type Thread struct {
 	CoreID    int     // core currently running (or last ran) the thread; -1 = never ran
 
 	// Scheduling state.
-	Affinity uint64   // allowed-core bitmask; policies may narrow it (WASH)
+	Affinity Mask     // allowed-core set; policies may narrow it (WASH)
 	VRuntime sim.Time // CFS virtual runtime (scale-slice adjusts its growth)
 
 	// Accounting (kernel-owned).
@@ -215,12 +201,7 @@ type Thread struct {
 }
 
 // AllowedOn reports whether the thread's affinity admits core index c.
-func (t *Thread) AllowedOn(c int) bool {
-	if c < 0 || c >= 64 {
-		return false
-	}
-	return t.Affinity&(1<<uint(c)) != 0
-}
+func (t *Thread) AllowedOn(c int) bool { return t.Affinity.Allows(c) }
 
 // CurrentOp returns the op at the program counter, or nil when retired.
 func (t *Thread) CurrentOp() Op {

@@ -32,14 +32,17 @@ func TestMaskOfAndAllowedOn(t *testing.T) {
 		}
 	}
 	if th.AllowedOn(-1) || th.AllowedOn(64) {
-		t.Errorf("out-of-range cores must be disallowed")
+		t.Errorf("unset cores must be disallowed")
 	}
-	if MaskOf([]int{-3, 70}) != 0 {
+	if !MaskOf([]int{-3, cpu.MaxCores + 1}).IsEmpty() {
 		t.Errorf("invalid indices must be ignored")
 	}
-	all := &Thread{Affinity: AffinityAll}
-	if !all.AllowedOn(0) || !all.AllowedOn(63) {
-		t.Errorf("AffinityAll must allow everything in range")
+	all := &Thread{Affinity: MaskAll()}
+	if !all.AllowedOn(0) || !all.AllowedOn(63) || !all.AllowedOn(cpu.MaxCores-1) {
+		t.Errorf("MaskAll must allow everything in range")
+	}
+	if all.AllowedOn(cpu.MaxCores) {
+		t.Errorf("MaskAll must stop at the core universe bound")
 	}
 }
 
