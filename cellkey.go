@@ -1,0 +1,37 @@
+package colab
+
+import "colab/internal/experiment"
+
+// CellKey is the canonical closed-form identity of one experiment cell:
+// the canonical scenario-grammar form, the canonical policy (stage
+// composition) name, the machine fingerprint (config name + structural
+// digest), the workload seed and a digest of the normalised kernel
+// parameters. Two cells with equal keys are guaranteed byte-identical, so
+// CellKey is the single content address shared by baseline dedup inside a
+// sweep, the checkpoint journal (WithCheckpoint) and the colab-serve cell
+// cache (CellCache) — replacing the ad-hoc key strings those layers used
+// to derive independently.
+//
+// CellKey is comparable; String() renders a stable one-line form (equal
+// keys render identically across runs and processes) and ParseCellKey
+// round-trips it exactly. Every cell of an Experiment's results carries
+// its key (ExperimentResult.Key).
+type CellKey = experiment.CellKey
+
+// ParseCellKey parses a CellKey.String() rendering back into the key.
+func ParseCellKey(s string) (CellKey, error) { return experiment.ParseCellKey(s) }
+
+// CellCache is a concurrency-safe, content-addressed store of scored
+// cells keyed by CellKey — the shared layer that lets repeated and
+// overlapping experiment runs (and colab-serve requests) answer common
+// cells without recomputing them. Identical in-flight cells are
+// deduplicated: when two concurrent runs race on one cell, the second
+// waits for the first's result. Hand one cache to many sessions with
+// WithCellCache; Stats exposes the hit/miss counters.
+type CellCache = experiment.Cache
+
+// NewCellCache returns an empty cell cache.
+func NewCellCache() *CellCache { return experiment.NewCache() }
+
+// CacheStats is a point-in-time snapshot of a CellCache's counters.
+type CacheStats = experiment.CacheStats

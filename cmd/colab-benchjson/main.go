@@ -3,7 +3,9 @@
 // trajectory (ns/op plus the harness's custom metrics such as
 // H_ANTT-vs-linux and R2) as a build artefact. It doubles as CI's trend
 // gate: -trend diffs the current report against a baseline and fails on
-// ns/op regressions beyond -max-regress percent.
+// regressions beyond -max-regress percent — gauged in ns/op, except for
+// benchmarks reporting a "/sec" throughput metric (such as events/sec),
+// which are higher-is-better and fail on throughput drops instead.
 //
 // -append maintains BENCH_history.json, a committed ring of the last
 // -history-size main-branch runs, so the trend baseline survives beyond
@@ -231,21 +233,29 @@ func loadReport(path string) (*Report, error) {
 }
 
 // Trend diffs cur against prev and writes one line per shared benchmark.
-// Per-benchmark ratios are first divided by their median, cancelling the
-// systematic speed difference between two CI runners (a uniformly slower
-// machine shifts every benchmark alike and must not trip the gate). It
-// errors when any shared benchmark regressed by more than maxRegress
-// percent beyond that median shift; new and removed benchmarks are
-// reported but never fail the gate.
+// Per-benchmark cost ratios are first divided by their median, cancelling
+// the systematic speed difference between two CI runners (a uniformly
+// slower machine shifts every benchmark alike and must not trip the
+// gate). It errors when any shared benchmark regressed by more than
+// maxRegress percent beyond that median shift; new and removed benchmarks
+// are reported but never fail the gate.
+//
+// A benchmark reporting a throughput metric — any unit ending in "/sec",
+// such as the kernel's events/sec — is gated on that metric as
+// higher-is-better: its cost ratio is old/new throughput, so a throughput
+// drop regresses exactly like an ns/op rise (and a throughput rise can
+// never be misread as a slowdown). All other benchmarks gate on ns/op.
 func Trend(w io.Writer, prev, cur *Report, maxRegress float64) error {
-	prevNs := make(map[string]float64, len(prev.Benchmarks))
+	prevBench := make(map[string]Benchmark, len(prev.Benchmarks))
 	for _, b := range prev.Benchmarks {
-		prevNs[b.Name] = b.NsPerOp
+		prevBench[b.Name] = b
 	}
 	var ratios []float64
 	for _, b := range cur.Benchmarks {
-		if old, ok := prevNs[b.Name]; ok && old > 0 {
-			ratios = append(ratios, b.NsPerOp/old)
+		if old, ok := prevBench[b.Name]; ok {
+			if r, _, valid := costRatio(old, b); valid {
+				ratios = append(ratios, r)
+			}
 		}
 	}
 	// With too few shared benchmarks the median is dominated by the very
@@ -261,24 +271,29 @@ func Trend(w io.Writer, prev, cur *Report, maxRegress float64) error {
 	var regressed []string
 	for _, b := range cur.Benchmarks {
 		seen[b.Name] = true
-		old, ok := prevNs[b.Name]
+		old, ok := prevBench[b.Name]
 		if !ok {
 			fmt.Fprintf(w, "NEW       %-40s %14.0f ns/op\n", b.Name, b.NsPerOp)
 			continue
 		}
+		ratio, unit, valid := costRatio(old, b)
 		delta := 0.0
-		if old > 0 {
-			delta = (b.NsPerOp/old/speedShift - 1) * 100
+		if valid {
+			delta = (ratio/speedShift - 1) * 100
 		}
 		status := "ok"
 		if delta > maxRegress {
 			status = "REGRESSED"
 			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", b.Name, delta))
 		}
-		fmt.Fprintf(w, "%-9s %-40s %14.0f -> %.0f ns/op (%+.1f%% vs median shift)\n", status, b.Name, old, b.NsPerOp, delta)
+		oldV, curV := old.NsPerOp, b.NsPerOp
+		if unit != "ns/op" {
+			oldV, curV = old.Metrics[unit], b.Metrics[unit]
+		}
+		fmt.Fprintf(w, "%-9s %-40s %14.0f -> %.0f %s (%+.1f%% cost vs median shift)\n", status, b.Name, oldV, curV, unit, delta)
 	}
 	var removed []string
-	for name := range prevNs {
+	for name := range prevBench {
 		if !seen[name] {
 			removed = append(removed, name)
 		}
@@ -291,8 +306,32 @@ func Trend(w io.Writer, prev, cur *Report, maxRegress float64) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%%: %s",
 			len(regressed), maxRegress, strings.Join(regressed, ", "))
 	}
-	fmt.Fprintf(w, "trend gate passed: no ns/op regression beyond %.1f%%\n", maxRegress)
+	fmt.Fprintf(w, "trend gate passed: no regression beyond %.1f%%\n", maxRegress)
 	return nil
+}
+
+// costRatio compares cur against old in the unit the benchmark is gated
+// on, returning the relative cost (>1 means cur is worse). Benchmarks
+// reporting a "/sec" throughput metric in both runs gate on it as
+// higher-is-better (cost = old/new throughput); everything else gates on
+// ns/op. valid is false when neither unit has a usable pair of values.
+func costRatio(old, cur Benchmark) (ratio float64, unit string, valid bool) {
+	units := make([]string, 0, len(cur.Metrics))
+	for u := range cur.Metrics {
+		if strings.HasSuffix(u, "/sec") {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		if o, c := old.Metrics[u], cur.Metrics[u]; o > 0 && c > 0 {
+			return o / c, u, true
+		}
+	}
+	if old.NsPerOp > 0 && cur.NsPerOp > 0 {
+		return cur.NsPerOp / old.NsPerOp, "ns/op", true
+	}
+	return 1, "ns/op", false
 }
 
 // minSharedForShift is the fewest shared benchmarks for which the median

@@ -193,6 +193,67 @@ func TestTrendNormalisesRunnerSpeedShift(t *testing.T) {
 	}
 }
 
+// A benchmark reporting a "/sec" throughput metric is higher-is-better:
+// a throughput drop fails the gate even when ns/op is flat, and a
+// throughput rise passes even when ns/op grew (a fixed-duration
+// benchmark's ns/op says nothing about its throughput).
+func TestTrendGatesThroughputMetricsHigherIsBetter(t *testing.T) {
+	bench := func(ns, eps float64) *Report {
+		return &Report{Benchmarks: []Benchmark{{
+			Name: "BenchmarkKernelHotPath", Iterations: 1, NsPerOp: ns,
+			Metrics: map[string]float64{"events/sec": eps},
+		}}}
+	}
+	var out bytes.Buffer
+	err := Trend(&out, bench(1000, 2_000_000), bench(1000, 1_400_000), 10)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkKernelHotPath") {
+		t.Fatalf("30%% throughput drop must fail the gate, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "events/sec") {
+		t.Errorf("gate output does not report the gated unit:\n%s", out.String())
+	}
+	out.Reset()
+	if err := Trend(&out, bench(1000, 2_000_000), bench(3000, 2_500_000), 10); err != nil {
+		t.Fatalf("throughput rise must pass regardless of ns/op: %v\n%s", err, out.String())
+	}
+	// The metric must only gate when both runs report it: against an old
+	// report without events/sec the benchmark falls back to ns/op.
+	out.Reset()
+	old := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkKernelHotPath", Iterations: 1, NsPerOp: 1000}}}
+	if err := Trend(&out, old, bench(1050, 2_000_000), 10); err != nil {
+		t.Fatalf("ns/op fallback within tolerance must pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ns/op") {
+		t.Errorf("fallback gate did not report ns/op:\n%s", out.String())
+	}
+}
+
+// The runner speed-shift normalisation must fold throughput benchmarks in
+// as cost ratios: a uniformly slower runner lowers every events/sec alike
+// and must not trip the gate.
+func TestTrendNormalisesThroughputSpeedShift(t *testing.T) {
+	mk := func(scale float64) *Report {
+		rep := &Report{}
+		for _, name := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"} {
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: 1000 * scale})
+		}
+		for _, name := range []string{"BenchmarkT1", "BenchmarkT2", "BenchmarkT3"} {
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+				Name: name, Iterations: 1, NsPerOp: 500,
+				Metrics: map[string]float64{"events/sec": 1_000_000 / scale},
+			})
+		}
+		return rep
+	}
+	var out bytes.Buffer
+	if err := Trend(&out, mk(1), mk(1.3), 10); err != nil {
+		t.Fatalf("uniform 30%% slowdown across ns/op and events/sec must be normalised away: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "runner speed shift") {
+		t.Errorf("normalisation not reported:\n%s", out.String())
+	}
+}
+
 func writeReportFile(t *testing.T, dir, name string, ns float64) string {
 	t.Helper()
 	path := filepath.Join(dir, name)

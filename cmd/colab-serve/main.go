@@ -1,0 +1,218 @@
+// Command colab-serve exposes the experiment session API as an HTTP
+// service: POST (or GET) a sweep spec — scenario-grammar workloads,
+// policy-composition strings, named machine shapes, seeds — to /run and
+// the per-cell scores stream back as NDJSON in the sweep's deterministic
+// cross-product order, each line flushed as its cell completes.
+//
+// All requests share one content-addressed cell cache keyed by the
+// canonical cell coordinates (see colab.CellKey): a repeated request —
+// or any request overlapping an earlier one, however the workloads and
+// policies were spelled — is answered from cache, and concurrent
+// identical cells are computed once. /stats reports the cache counters.
+//
+// Usage:
+//
+//	colab-serve -addr :8080
+//	curl 'localhost:8080/run?workload=Sync-1&policy=linux,colab&seed=1'
+//	curl localhost:8080/stats
+//
+// Endpoints:
+//
+//	GET/POST /run      stream one NDJSON object per cell (see cellLine)
+//	GET      /stats    cache and service counters, JSON
+//	GET      /healthz  liveness probe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	colab "colab"
+	"colab/internal/cpu"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	s := newServer()
+	fmt.Fprintf(os.Stderr, "colab-serve: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, s); err != nil {
+		fmt.Fprintf(os.Stderr, "colab-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// server is the service state: one shared cell cache and the request
+// counters. Its handler is safe for concurrent use.
+type server struct {
+	mux         *http.ServeMux
+	cache       *colab.CellCache
+	requests    atomic.Uint64
+	cellsServed atomic.Uint64
+}
+
+func newServer() *server {
+	s := &server{mux: http.NewServeMux(), cache: colab.NewCellCache()}
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// cellLine is one streamed result: the cell's sweep coordinates, its
+// scores, its canonical content address, and whether the cache (or a
+// checkpoint journal) answered it.
+type cellLine struct {
+	Workload string  `json:"workload"`
+	Machine  string  `json:"machine"`
+	Policy   string  `json:"policy"`
+	Seed     uint64  `json:"seed"`
+	HANTT    float64 `json:"h_antt"`
+	HSTP     float64 `json:"h_stp"`
+	CellKey  string  `json:"cell_key"`
+	Cached   bool    `json:"cached"`
+}
+
+// splitList flattens repeated and comma-separated query values into one
+// trimmed list: ?policy=linux,wash&policy=colab is three policies.
+func splitList(values []string) []string {
+	var out []string
+	for _, v := range values {
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+// optionsFromQuery translates the request's query parameters into
+// session options. Unknown machine names and malformed numbers are
+// caught here; workload and policy spellings are validated by Run
+// itself.
+func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOption, error) {
+	opts := []colab.ExperimentOption{colab.WithCellCache(s.cache)}
+	workloads := splitList(q["workload"])
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("at least one workload parameter is required (a registered name or a scenario-grammar spec)")
+	}
+	opts = append(opts, colab.WithWorkloads(workloads...))
+	if names := splitList(q["machine"]); len(names) > 0 {
+		var cfgs []colab.Config
+		for _, name := range names {
+			cfg, ok := cpu.ConfigByName(name)
+			if !ok {
+				known := make([]string, 0, 4)
+				for _, c := range cpu.NamedConfigs() {
+					known = append(known, c.Name)
+				}
+				return nil, fmt.Errorf("unknown machine %q (known: %s)", name, strings.Join(known, ", "))
+			}
+			cfgs = append(cfgs, cfg)
+		}
+		opts = append(opts, colab.WithMachines(cfgs...))
+	}
+	if policies := splitList(q["policy"]); len(policies) > 0 {
+		opts = append(opts, colab.WithPolicies(policies...))
+	}
+	if raw := splitList(q["seed"]); len(raw) > 0 {
+		var seeds []uint64
+		for _, v := range raw {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed %q is not an unsigned integer", v)
+			}
+			seeds = append(seeds, n)
+		}
+		opts = append(opts, colab.WithSeeds(seeds...))
+	}
+	if v := strings.TrimSpace(strings.Join(q["workers"], "")); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("workers %q is not a positive integer", v)
+		}
+		opts = append(opts, colab.WithWorkers(n))
+	}
+	idxRaw, cntRaw := q["shard_index"], q["shard_count"]
+	if len(idxRaw) > 0 || len(cntRaw) > 0 {
+		idx, err1 := strconv.Atoi(strings.Join(idxRaw, ""))
+		cnt, err2 := strconv.Atoi(strings.Join(cntRaw, ""))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("shard_index and shard_count must be set together as integers")
+		}
+		opts = append(opts, colab.WithShard(idx, cnt))
+	}
+	return opts, nil
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opts, err := s.optionsFromQuery(r.Form)
+	if err != nil {
+		http.Error(w, "colab-serve: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	streamed := 0
+	opts = append(opts, colab.WithObserver(func(c colab.ExperimentResult) {
+		if streamed == 0 {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		streamed++
+		s.cellsServed.Add(1)
+		enc.Encode(cellLine{
+			Workload: c.Run.Workload,
+			Machine:  c.Run.Machine,
+			Policy:   c.Run.Policy,
+			Seed:     c.Run.Seed,
+			HANTT:    c.Score.HANTT,
+			HSTP:     c.Score.HSTP,
+			CellKey:  c.Key.String(),
+			Cached:   c.Cached,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}))
+	if _, err := colab.NewExperiment(opts...).Run(r.Context()); err != nil {
+		if streamed == 0 {
+			// Nothing written yet: a bad spec (unknown workload or policy,
+			// invalid shard coordinates) is still a clean 400.
+			http.Error(w, "colab-serve: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Mid-stream failure: the status line is gone, so report in-band.
+		enc.Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Requests    uint64           `json:"requests"`
+		CellsServed uint64           `json:"cells_served"`
+		Cache       colab.CacheStats `json:"cache"`
+	}{s.requests.Load(), s.cellsServed.Load(), s.cache.Stats()})
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	colab "colab"
+)
+
+type statsReply struct {
+	Requests    uint64           `json:"requests"`
+	CellsServed uint64           `json:"cells_served"`
+	Cache       colab.CacheStats `json:"cache"`
+}
+
+func getStats(t *testing.T, ts *httptest.Server) statsReply {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s statsReply
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func runCells(t *testing.T, ts *httptest.Server, query string) []cellLine {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/run?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run?%s -> %s", query, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+	var cells []cellLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var c cellLine
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		cells = append(cells, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// A sweep request streams one NDJSON object per cell in the sweep's
+// deterministic cross-product order, and a second identical request is
+// answered entirely from the shared cache.
+func TestRunStreamsAndCaches(t *testing.T) {
+	ts := httptest.NewServer(newServer())
+	defer ts.Close()
+
+	const query = "workload=Sync-1&policy=linux,wash&seed=1,2&workers=4"
+	first := runCells(t, ts, query)
+	if len(first) != 4 {
+		t.Fatalf("got %d cells, want 4 (2 policies x 2 seeds)", len(first))
+	}
+	wantOrder := []struct {
+		policy string
+		seed   uint64
+	}{{"linux", 1}, {"wash", 1}, {"linux", 2}, {"wash", 2}}
+	for i, c := range first {
+		if c.Policy != wantOrder[i].policy || c.Seed != wantOrder[i].seed {
+			t.Errorf("cell %d is (%s, seed %d), want (%s, seed %d)",
+				i, c.Policy, c.Seed, wantOrder[i].policy, wantOrder[i].seed)
+		}
+		if c.Workload != "Sync-1" || c.Machine == "" || c.CellKey == "" {
+			t.Errorf("cell %d incomplete: %+v", i, c)
+		}
+		if c.Cached {
+			t.Errorf("cold-cache cell %d claims cached", i)
+		}
+		if _, err := colab.ParseCellKey(c.CellKey); err != nil {
+			t.Errorf("cell %d key %q does not parse: %v", i, c.CellKey, err)
+		}
+	}
+
+	second := runCells(t, ts, query)
+	if len(second) != len(first) {
+		t.Fatalf("repeat request returned %d cells, want %d", len(second), len(first))
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Errorf("repeat cell %d recomputed", i)
+		}
+		want := first[i]
+		want.Cached = true
+		if second[i] != want {
+			t.Errorf("repeat cell %d diverged: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+
+	s := getStats(t, ts)
+	if s.Cache.Hits < uint64(len(second)) {
+		t.Errorf("cache hits = %d after repeat request, want >= %d", s.Cache.Hits, len(second))
+	}
+	if s.Requests < 2 || s.CellsServed != uint64(len(first)+len(second)) {
+		t.Errorf("counters %+v, want 2 requests and %d cells", s, len(first)+len(second))
+	}
+}
+
+// The cache is content-addressed on canonical coordinates: a different
+// spelling of the same scenario and policy composition hits it.
+func TestCacheIsSpellingIndependent(t *testing.T) {
+	ts := httptest.NewServer(newServer())
+	defer ts.Close()
+
+	a := runCells(t, ts, "workload="+
+		"ferret:4%2Bbodytrack:8&policy=wash.labeler")
+	b := runCells(t, ts, "workload="+
+		"+ferret:4+%2B+bodytrack:8+&policy=linux.selector%2Bwash.labeler%2Blinux.allocator")
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("got %d and %d cells, want 1 each", len(a), len(b))
+	}
+	if a[0].CellKey != b[0].CellKey {
+		t.Fatalf("spellings produced distinct keys:\n%s\n%s", a[0].CellKey, b[0].CellKey)
+	}
+	if !b[0].Cached {
+		t.Error("respelled request missed the cache")
+	}
+	if a[0].HANTT != b[0].HANTT || a[0].HSTP != b[0].HSTP {
+		t.Errorf("respelled scores diverged: %+v vs %+v", a[0], b[0])
+	}
+}
+
+// Sharded requests against the service cover the sweep exactly once.
+func TestShardedRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer())
+	defer ts.Close()
+
+	const base = "workload=Sync-1&policy=linux,wash&seed=1,2"
+	full := runCells(t, ts, base)
+	seen := make(map[string]bool)
+	total := 0
+	for idx := 0; idx < 2; idx++ {
+		cells := runCells(t, ts, base+"&shard_count=2&shard_index="+string(rune('0'+idx)))
+		for _, c := range cells {
+			if seen[c.CellKey] {
+				t.Errorf("cell %s served by two shards", c.CellKey)
+			}
+			seen[c.CellKey] = true
+		}
+		total += len(cells)
+	}
+	if total != len(full) {
+		t.Errorf("shards cover %d cells, want %d", total, len(full))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer())
+	defer ts.Close()
+	for _, tc := range []struct{ name, query string }{
+		{"no workload", "policy=linux"},
+		{"unknown machine", "workload=Sync-1&machine=8B8S"},
+		{"bad seed", "workload=Sync-1&seed=minusone"},
+		{"unknown workload", "workload=no-such-benchmark:4"},
+		{"unknown policy", "workload=Sync-1&policy=no-such-policy"},
+		{"bad shard", "workload=Sync-1&shard_index=5&shard_count=2"},
+		{"bad workers", "workload=Sync-1&workers=0"},
+	} {
+		resp, err := http.Get(ts.URL + "/run?" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: /run?%s -> %s, want 400", tc.name, tc.query, resp.Status)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(newServer())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz -> %s", resp.Status)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList([]string{"a, b", "", "c", " , d"})
+	want := []string{"a", "b", "c", "d"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("splitList = %v, want %v", got, want)
+	}
+}

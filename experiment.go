@@ -33,14 +33,19 @@ import (
 // the simulation kernel itself is context-checked — and surfaces a wrapped
 // ctx.Err().
 type Experiment struct {
-	workloads []string
-	machines  []Config
-	policies  []string
-	seeds     []uint64
-	params    Params
-	workers   int
-	tracer    func(ExperimentTrace)
-	model     *SpeedupModel
+	workloads  []string
+	machines   []Config
+	policies   []string
+	seeds      []uint64
+	params     Params
+	workers    int
+	tracer     func(ExperimentTrace)
+	model      *SpeedupModel
+	shardIdx   int
+	shardCount int
+	checkpoint string
+	cache      *CellCache
+	observer   func(ExperimentResult)
 }
 
 // ExperimentOption configures an Experiment session.
@@ -125,6 +130,48 @@ func WithSpeedupModel(m *SpeedupModel) ExperimentOption {
 	return func(e *Experiment) { e.model = m }
 }
 
+// WithShard assigns this session shard index of count: one slice of the
+// sweep, for fanning a large cross-product out over independent processes
+// or hosts. The assignment is deterministic — derived from the session
+// spec alone, so every shard agrees without coordination — and works in
+// baseline-sharing groups (all cells of one seed + closed canonical
+// scenario stay together), so no big-only-alone baseline is computed by
+// two shards. Each shard returns its own cells in cross-product order;
+// MergeShards reassembles the full result set byte-identical to an
+// unsharded Run.
+func WithShard(index, count int) ExperimentOption {
+	return func(e *Experiment) { e.shardIdx, e.shardCount = index, count }
+}
+
+// WithCheckpoint journals completed cells to path (NDJSON, one fsynced
+// record per cell keyed by CellKey) and replays the journal on start: a
+// sweep killed mid-run resumes where it died when re-run with the same
+// spec and path, and its final results are byte-identical to an
+// uninterrupted run. Sharded sessions must use one path per shard.
+func WithCheckpoint(path string) ExperimentOption {
+	return func(e *Experiment) { e.checkpoint = path }
+}
+
+// WithCellCache attaches a shared content-addressed cell cache: cells
+// whose CellKey is already cached are answered without simulation, and
+// computed cells are stored for later sessions. Concurrent sessions
+// sharing one cache dedup identical in-flight cells — the layer behind
+// colab-serve.
+func WithCellCache(c *CellCache) ExperimentOption {
+	return func(e *Experiment) { e.cache = c }
+}
+
+// WithObserver streams cells to fn as the sweep runs: every cell of the
+// session's result set is delivered exactly once, in the same
+// deterministic cross-product order Run returns, each as soon as it and
+// all its predecessors have completed — so the stream's content and order
+// are independent of worker scheduling. fn is called from worker
+// goroutines (one call at a time); the final ExperimentResults still
+// carries every cell.
+func WithObserver(fn func(ExperimentResult)) ExperimentOption {
+	return func(e *Experiment) { e.observer = fn }
+}
+
 // ExperimentRun identifies one cell of a session: one (workload, machine,
 // policy, seed) combination, scored over both core orders.
 type ExperimentRun struct {
@@ -140,6 +187,11 @@ type ExperimentRun struct {
 type ExperimentResult struct {
 	Run   ExperimentRun
 	Score MixScore
+	// Key is the cell's canonical content address (see CellKey).
+	Key CellKey
+	// Cached reports the score was replayed from a checkpoint journal or
+	// answered by a cell cache rather than simulated by this run.
+	Cached bool
 }
 
 // ExperimentResults holds a session's cells in deterministic cross-product
@@ -148,38 +200,54 @@ type ExperimentResults struct {
 	Cells []ExperimentResult
 }
 
-// Run executes the sweep and returns one result per cross-product cell.
-func (e *Experiment) Run(ctx context.Context) (*ExperimentResults, error) {
+// matrix resolves the session's sweep axes with their defaults applied:
+// the parsed workload specs, machines, policies and seeds whose
+// cross-product (seeds outermost, then workloads, machines, policies
+// innermost) is the session's cell set.
+func (e *Experiment) matrix() (specs []workload.Spec, machines []Config, policies []string, seeds []uint64, err error) {
 	if len(e.workloads) == 0 {
-		return nil, fmt.Errorf("colab: experiment has no workloads (use WithWorkloads)")
+		return nil, nil, nil, nil, fmt.Errorf("colab: experiment has no workloads (use WithWorkloads)")
 	}
-	specs := make([]workload.Spec, 0, len(e.workloads))
+	specs = make([]workload.Spec, 0, len(e.workloads))
 	for _, idx := range e.workloads {
 		spec, err := workload.ResolveSpec(idx)
 		if err != nil {
-			return nil, fmt.Errorf("colab: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("colab: %w", err)
 		}
 		specs = append(specs, spec)
 	}
-	machines := e.machines
+	machines = e.machines
 	if len(machines) == 0 {
 		machines = []Config{Config2B2S}
 	}
-	policies := e.policies
+	policies = e.policies
 	if len(policies) == 0 {
 		policies = PaperPolicies()
 	}
-	seeds := e.seeds
+	seeds = e.seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
+	return specs, machines, policies, seeds, nil
+}
+
+// Run executes the sweep and returns one result per cross-product cell
+// (one result per this shard's cells when WithShard is set).
+func (e *Experiment) Run(ctx context.Context) (*ExperimentResults, error) {
+	specs, machines, policies, seeds, err := e.matrix()
+	if err != nil {
+		return nil, err
+	}
 	b := &experiment.Batch{
-		Scenarios: specs,
-		Configs:   machines,
-		Policies:  policies,
-		Seeds:     seeds,
-		Params:    e.params,
-		Workers:   e.workers,
+		Scenarios:  specs,
+		Configs:    machines,
+		Policies:   policies,
+		Seeds:      seeds,
+		Params:     e.params,
+		Workers:    e.workers,
+		ShardIndex: e.shardIdx,
+		ShardCount: e.shardCount,
+		Cache:      e.cache,
 	}
 	if e.model != nil {
 		b.Speedup = e.model.ThreadPredictor()
@@ -189,15 +257,76 @@ func (e *Experiment) Run(ctx context.Context) (*ExperimentResults, error) {
 			e.tracer(ExperimentTrace{Run: runFromKey(key), BigFirst: bigFirst, Event: ev})
 		}
 	}
+	if e.observer != nil {
+		b.Observer = func(c experiment.BatchCell) { e.observer(resultFromCell(c)) }
+	}
+	if e.checkpoint != "" {
+		j, err := experiment.OpenJournal(e.checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("colab: %w", err)
+		}
+		defer j.Close()
+		b.Journal = j
+	}
 	cells, err := b.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out := &ExperimentResults{Cells: make([]ExperimentResult, len(cells))}
 	for i, c := range cells {
-		out.Cells[i] = ExperimentResult{Run: runFromKey(c.Key), Score: c.Score}
+		out.Cells[i] = resultFromCell(c)
 	}
 	return out, nil
+}
+
+// MergeShards reassembles the full result set from per-shard runs of the
+// same session spec: the union of the shards' cells, reordered into the
+// session's cross-product order — byte-identical (WriteCSV/WriteTable) to
+// what an unsharded Run returns. It errors when the shards do not cover
+// the sweep exactly (a missing shard, a shard run against a different
+// spec, or the same shard twice).
+func (e *Experiment) MergeShards(shards ...*ExperimentResults) (*ExperimentResults, error) {
+	specs, machines, policies, seeds, err := e.matrix()
+	if err != nil {
+		return nil, err
+	}
+	// Cells are matched by run identity; a list per run tolerates sweeps
+	// that intentionally repeat an axis value (the duplicates are
+	// indistinguishable, so any assignment is the right one).
+	pool := make(map[ExperimentRun][]ExperimentResult)
+	total := 0
+	for _, s := range shards {
+		for _, c := range s.Cells {
+			pool[c.Run] = append(pool[c.Run], c)
+			total++
+		}
+	}
+	out := &ExperimentResults{}
+	for _, seed := range seeds {
+		for _, spec := range specs {
+			for _, cfg := range machines {
+				for _, kind := range policies {
+					run := ExperimentRun{Workload: spec.Name, Machine: cfg.Name, Policy: kind, Seed: seed}
+					cells := pool[run]
+					if len(cells) == 0 {
+						return nil, fmt.Errorf("colab: merge is missing cell %s/%s/%s seed %d (were all shards of this session run?)",
+							run.Workload, run.Machine, run.Policy, run.Seed)
+					}
+					out.Cells = append(out.Cells, cells[0])
+					pool[run] = cells[1:]
+					total--
+				}
+			}
+		}
+	}
+	if total != 0 {
+		return nil, fmt.Errorf("colab: merge has %d surplus cells beyond the session's sweep (same shard merged twice, or a different session spec?)", total)
+	}
+	return out, nil
+}
+
+func resultFromCell(c experiment.BatchCell) ExperimentResult {
+	return ExperimentResult{Run: runFromKey(c.Key), Score: c.Score, Key: c.CellKey, Cached: c.Cached}
 }
 
 func runFromKey(k experiment.BatchKey) ExperimentRun {
@@ -232,6 +361,21 @@ func (r *ExperimentResults) Normalized(refPolicy string) (*ExperimentResults, er
 	return out, nil
 }
 
+// Each is the iterator face of the results: it calls yield for every cell
+// in the deterministic cross-product order Run returned them, stopping
+// early when yield returns false. It is a range-over-func iterator
+// (`for cell := range res.Each` on toolchains with that feature) and
+// equally callable directly; WriteCSV and WriteTable are built on it, as
+// are streaming consumers that pair it with WithObserver's identical
+// ordering.
+func (r *ExperimentResults) Each(yield func(ExperimentResult) bool) {
+	for _, c := range r.Cells {
+		if !yield(c) {
+			return
+		}
+	}
+}
+
 // WriteCSV writes the cells as CSV at full float precision. The bytes are
 // deterministic for a given session spec, independent of worker count.
 // Fields containing commas or quotes (scenario-grammar workload names like
@@ -241,27 +385,35 @@ func (r *ExperimentResults) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"workload", "machine", "policy", "seed", "h_antt", "h_stp"}); err != nil {
 		return err
 	}
-	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	for _, c := range r.Cells {
-		row := []string{
-			c.Run.Workload, c.Run.Machine, c.Run.Policy,
-			strconv.FormatUint(c.Run.Seed, 10), ff(c.Score.HANTT), ff(c.Score.HSTP),
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
+	var err error
+	r.Each(func(c ExperimentResult) bool {
+		err = cw.Write(csvRow(c))
+		return err == nil
+	})
+	if err != nil {
+		return err
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// csvRow renders one cell as its WriteCSV record.
+func csvRow(c ExperimentResult) []string {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return []string{
+		c.Run.Workload, c.Run.Machine, c.Run.Policy,
+		strconv.FormatUint(c.Run.Seed, 10), ff(c.Score.HANTT), ff(c.Score.HSTP),
+	}
 }
 
 // WriteTable writes the cells as an aligned human-readable table.
 func (r *ExperimentResults) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "workload\tmachine\tpolicy\tseed\tH_ANTT\tH_STP")
-	for _, c := range r.Cells {
+	r.Each(func(c ExperimentResult) bool {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.3f\t%.3f\n",
 			c.Run.Workload, c.Run.Machine, c.Run.Policy, c.Run.Seed, c.Score.HANTT, c.Score.HSTP)
-	}
+		return true
+	})
 	return tw.Flush()
 }

@@ -1,0 +1,25 @@
+package cpu
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint identifies a machine shape for content-addressed caches and
+// cell keys: the config name plus a 64-bit digest of the full structure
+// (per-core tier indices and every tier parameter, DVFS ladders included).
+// Config.Name alone is not identity — user-built palettes can generate the
+// same name for materially different machines — while the digest pins the
+// structure without embedding a 128-core description in every key. The
+// digest is a pure function of the config's value, stable across processes
+// and runs.
+func (c Config) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "kinds:%v", c.Kinds)
+	for _, t := range c.Tiers() {
+		fmt.Fprintf(h, "|tier:%s,%s,%s,%d,%g,%g,%g,%g,%d,%d,%d,%v",
+			t.Name, t.Symbol, t.Model, t.FreqMHz, t.Uarch, t.Capacity,
+			t.MinSpeedup, t.MaxSpeedup, t.L1IKB, t.L1DKB, t.L2KB, t.OPPsMHz)
+	}
+	return fmt.Sprintf("%s#%016x", c.Name, h.Sum64())
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"context"
+	"sync"
+
+	"colab/internal/metrics"
+)
+
+// CacheStats is a point-in-time snapshot of a cell cache's counters.
+type CacheStats struct {
+	// Cells is the number of scored cells held.
+	Cells int `json:"cells"`
+	// Hits counts lookups answered from the cache, including lookups that
+	// waited for an identical in-flight computation instead of starting
+	// their own.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to compute their cell.
+	Misses uint64 `json:"misses"`
+}
+
+// Cache is a concurrency-safe, content-addressed store of scored cells
+// keyed by CellKey: the long-lived layer behind colab-serve that lets
+// repeated and overlapping requests share work. Identical in-flight
+// computations are deduplicated — when two requests race on one cell, the
+// second waits for the first's result rather than recomputing — and a
+// leader failing (its request cancelled, say) promotes a waiter to
+// compute, so one aborted request never poisons another.
+type Cache struct {
+	mu       sync.Mutex
+	cells    map[string]metrics.MixScore
+	inflight map[string]*inflightCell
+	hits     uint64
+	misses   uint64
+}
+
+type inflightCell struct {
+	done  chan struct{}
+	score metrics.MixScore
+	err   error
+}
+
+// NewCache returns an empty cell cache.
+func NewCache() *Cache {
+	return &Cache{
+		cells:    make(map[string]metrics.MixScore),
+		inflight: make(map[string]*inflightCell),
+	}
+}
+
+// Lookup returns the cached score of a cell, without touching the hit or
+// miss counters (use Do for counted access).
+func (c *Cache) Lookup(key CellKey) (metrics.MixScore, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.cells[key.String()]
+	return v, ok
+}
+
+// Store inserts a scored cell directly (journal replays warm the cache
+// through this).
+func (c *Cache) Store(key CellKey, score metrics.MixScore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[key.String()] = score
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Cells: len(c.cells), Hits: c.hits, Misses: c.misses}
+}
+
+// Do returns the cell's score, computing it via compute on a miss. The
+// second result reports whether the score came from the cache (directly or
+// by waiting on an identical in-flight computation) rather than from this
+// caller's compute. Cancelling ctx abandons only this caller's wait;
+// compute itself is expected to honour the same ctx.
+func (c *Cache) Do(ctx context.Context, key CellKey, compute func() (metrics.MixScore, error)) (metrics.MixScore, bool, error) {
+	ks := key.String()
+	for {
+		c.mu.Lock()
+		if v, ok := c.cells[ks]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		if fl, ok := c.inflight[ks]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return metrics.MixScore{}, false, ctx.Err()
+			}
+			if fl.err == nil {
+				// The leader stored the cell; loop to pick it up (and count
+				// the hit) from the map.
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return metrics.MixScore{}, false, err
+			}
+			// The leader failed — likely its own request was cancelled.
+			// Loop and try to become the leader ourselves.
+			continue
+		}
+		fl := &inflightCell{done: make(chan struct{})}
+		c.inflight[ks] = fl
+		c.misses++
+		c.mu.Unlock()
+		score, err := compute()
+		c.mu.Lock()
+		delete(c.inflight, ks)
+		if err == nil {
+			c.cells[ks] = score
+		}
+		c.mu.Unlock()
+		fl.score, fl.err = score, err
+		close(fl.done)
+		return score, false, err
+	}
+}

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"colab/internal/metrics"
+)
+
+func testKey(i int) CellKey {
+	return CellKey{Scenario: fmt.Sprintf("s-%d", i), Policy: "linux", Machine: "m#0", Seed: 1, Params: "00"}
+}
+
+func TestJournalRecordReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scores with awkward float values must replay bit-identically.
+	want := metrics.MixScore{HANTT: 1.0 / 3.0, HSTP: 2.0000000000000004}
+	if err := j.Record(testKey(1), want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(testKey(1), metrics.MixScore{HANTT: 99}); err != nil {
+		t.Fatal(err) // duplicate records are no-ops, not errors
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("journal replayed %d cells, want 1", j2.Len())
+	}
+	got, ok := j2.Lookup(testKey(1))
+	if !ok {
+		t.Fatal("recorded cell missing after reopen")
+	}
+	if got != want {
+		t.Errorf("replayed score not bit-identical: %v vs %v", got, want)
+	}
+}
+
+// A kill mid-append leaves a truncated final line; the journal must drop
+// it (the cell reruns) and keep every complete record.
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Record(testKey(i), metrics.MixScore{HANTT: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"half-writ`)
+	f.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 3 {
+		t.Errorf("journal replayed %d cells, want the 3 complete ones", j2.Len())
+	}
+}
+
+// Garbage in the middle of the file is not a kill signature: refuse it.
+func TestJournalRejectsCorruptInterior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ndjson")
+	if err := os.WriteFile(path, []byte("not json\n{\"key\":\"k\",\"h_antt\":1,\"h_stp\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("corrupt interior line must error")
+	}
+}
+
+func TestCacheCountsAndStores(t *testing.T) {
+	c := NewCache()
+	ctx := context.Background()
+	want := metrics.MixScore{HANTT: 2, HSTP: 3}
+	v, cached, err := c.Do(ctx, testKey(1), func() (metrics.MixScore, error) { return want, nil })
+	if err != nil || cached || v != want {
+		t.Fatalf("first Do = (%v, %v, %v), want computed %v", v, cached, err, want)
+	}
+	v, cached, err = c.Do(ctx, testKey(1), func() (metrics.MixScore, error) {
+		t.Error("hit must not recompute")
+		return metrics.MixScore{}, nil
+	})
+	if err != nil || !cached || v != want {
+		t.Fatalf("second Do = (%v, %v, %v), want cached %v", v, cached, err, want)
+	}
+	if s := c.Stats(); s.Cells != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 cell, 1 hit, 1 miss", s)
+	}
+	// A failed compute must not poison the cache.
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, testKey(2), func() (metrics.MixScore, error) { return metrics.MixScore{}, boom }); !errors.Is(err, boom) {
+		t.Fatalf("compute error not surfaced: %v", err)
+	}
+	if _, ok := c.Lookup(testKey(2)); ok {
+		t.Error("failed compute must not be stored")
+	}
+}
+
+// Concurrent identical requests must run one compute; the rest wait and
+// count as hits.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	var computes int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const waiters = 8
+	results := make([]metrics.MixScore, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), testKey(1), func() (metrics.MixScore, error) {
+				if atomic.AddInt32(&computes, 1) == 1 {
+					close(started)
+				}
+				<-release
+				return metrics.MixScore{HANTT: 7, HSTP: 7}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-started
+	close(release)
+	wg.Wait()
+	if n := atomic.LoadInt32(&computes); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if (v != metrics.MixScore{HANTT: 7, HSTP: 7}) {
+			t.Errorf("waiter %d got %v", i, v)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != waiters-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", s, waiters-1)
+	}
+}
+
+// A cancelled leader must not strand waiters: one of them takes over.
+func TestCacheLeaderFailurePromotesWaiter(t *testing.T) {
+	c := NewCache()
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	inLeader := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, err := c.Do(leaderCtx, testKey(1), func() (metrics.MixScore, error) {
+			close(inLeader)
+			<-leaderCtx.Done()
+			return metrics.MixScore{}, leaderCtx.Err()
+		})
+		if err == nil {
+			t.Error("cancelled leader must error")
+		}
+	}()
+	<-inLeader
+	waiterDone := make(chan metrics.MixScore, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), testKey(1), func() (metrics.MixScore, error) {
+			return metrics.MixScore{HANTT: 5, HSTP: 5}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		waiterDone <- v
+	}()
+	cancelLeader()
+	<-leaderDone
+	if v := <-waiterDone; (v != metrics.MixScore{HANTT: 5, HSTP: 5}) {
+		t.Errorf("promoted waiter got %v", v)
+	}
+}

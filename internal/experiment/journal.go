@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"colab/internal/metrics"
+)
+
+// journalEntry is one NDJSON line of a checkpoint journal. Scores are
+// marshalled with encoding/json's shortest-round-trip float rendering, so
+// a replayed cell is bit-identical to the computed one.
+type journalEntry struct {
+	Key   string  `json:"key"`
+	HANTT float64 `json:"h_antt"`
+	HSTP  float64 `json:"h_stp"`
+}
+
+// Journal is the checkpoint store of a sweep: an append-only NDJSON file
+// of completed cells keyed by CellKey. A batch run with a journal records
+// every cell as it completes (each line is flushed and fsynced before the
+// cell is reported done), and a restarted run over the same file replays
+// completed cells instead of recomputing them — the replayed scores are
+// bit-identical, so the resumed sweep's final output matches an
+// uninterrupted run byte for byte.
+//
+// Because entries are keyed, the journal is oblivious to shard layout and
+// worker count: any subset of a sweep's cells may be present, and a
+// journal written by several sharded processes (one file per shard) can be
+// replayed per shard or concatenated. A Journal is safe for concurrent use
+// by one process; concurrent processes must use distinct files.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]metrics.MixScore
+}
+
+// OpenJournal opens (creating if missing) the checkpoint journal at path
+// and loads every completed cell. A truncated final line — the signature
+// of a kill mid-write — is tolerated and dropped; malformed interior lines
+// mean the file is not a journal and error out.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("experiment: reading journal %s: %w", path, err)
+	}
+	done := make(map[string]metrics.MixScore)
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(trimmed, &e); err != nil || e.Key == "" {
+			if i == len(lines)-1 {
+				// The file ends without a newline in a half-written record:
+				// the process died mid-append. Truncate the fragment away —
+				// appending after it would weld two records onto one line —
+				// and let the cell rerun.
+				if err := os.Truncate(path, int64(len(data)-len(line))); err != nil {
+					return nil, fmt.Errorf("experiment: truncating torn journal tail in %s: %w", path, err)
+				}
+				break
+			}
+			return nil, fmt.Errorf("experiment: journal %s line %d is not a cell record: %q", path, i+1, trimmed)
+		}
+		done[e.Key] = metrics.MixScore{HANTT: e.HANTT, HSTP: e.HSTP}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: opening journal %s: %w", path, err)
+	}
+	return &Journal{f: f, done: done}, nil
+}
+
+// Lookup returns the replayed score of a completed cell.
+func (j *Journal) Lookup(key CellKey) (metrics.MixScore, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.done[key.String()]
+	return v, ok
+}
+
+// Len returns the number of completed cells on record.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record appends one completed cell, fsyncing before returning so a kill
+// after Record never loses the cell. Re-recording a known key is a no-op:
+// replayed and cache-served cells flow through Record freely.
+func (j *Journal) Record(key CellKey, score metrics.MixScore) error {
+	ks := key.String()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.done[ks]; ok {
+		return nil
+	}
+	line, err := json.Marshal(journalEntry{Key: ks, HANTT: score.HANTT, HSTP: score.HSTP})
+	if err != nil {
+		return fmt.Errorf("experiment: journal record: %w", err)
+	}
+	w := bufio.NewWriter(j.f)
+	w.Write(line)
+	w.WriteByte('\n')
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("experiment: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: journal sync: %w", err)
+	}
+	j.done[ks] = score
+	return nil
+}
+
+// Close releases the journal file. The journal stays readable afterwards
+// (lookups keep working); only appends stop.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"colab/internal/cpu"
+	"colab/internal/kernel"
+	"colab/internal/policy"
+	"colab/internal/workload"
+)
+
+// CellKey is the canonical closed-form identity of one experiment cell:
+// what must match for two runs to be guaranteed byte-identical. It is the
+// single content-address used by baseline dedup, the checkpoint journal
+// and the colab-serve cell cache — every consumer keys off the same five
+// coordinates:
+//
+//   - Scenario: the scenario's canonical grammar form (the fuzz-pinned
+//     fixed point of workload.Spec.Canonical), so every spelling of one
+//     scenario shares an identity;
+//   - Policy: the canonical policy name (policy.Canonical), so every
+//     spelling of one stage composition shares an identity;
+//   - Machine: the machine fingerprint (cpu.Config.Fingerprint): config
+//     name plus a structural digest, so same-named but different machines
+//     never collide;
+//   - Seed: the workload-generation seed;
+//   - Params: a digest of the normalised kernel cost parameters
+//     (kernel.Params.Canonical), so a zero Params and its spelled-out
+//     defaults share an identity.
+//
+// CellKey is a comparable value type; String renders a stable one-line
+// form that ParseCellKey round-trips exactly.
+type CellKey struct {
+	Scenario string
+	Policy   string
+	Machine  string
+	Seed     uint64
+	Params   string
+}
+
+// NewCellKey derives the canonical key of (scenario, policy, machine,
+// seed, params).
+func NewCellKey(spec workload.Spec, policyName string, cfg cpu.Config, seed uint64, params kernel.Params) CellKey {
+	return CellKey{
+		Scenario: spec.Canonical(),
+		Policy:   policy.Canonical(policyName),
+		Machine:  cfg.Fingerprint(),
+		Seed:     seed,
+		Params:   ParamsDigest(params),
+	}
+}
+
+// ParamsDigest returns the 64-bit digest of the normalised kernel params
+// that CellKey.Params carries.
+func ParamsDigest(p kernel.Params) string {
+	c := p.Canonical()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%v", c.ContextSwitchCost, c.MigrationCost, c.MaxEvents, c.CounterNoiseSeed, c.Power)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// String renders the key as five '|'-separated fields
+// (scenario|policy|machine|seed|params) with '%' and '|' percent-escaped
+// inside fields. The rendering is stable across runs and processes for
+// equal keys, and ParseCellKey(k.String()) == k.
+func (k CellKey) String() string {
+	return strings.Join([]string{
+		escapeKeyField(k.Scenario),
+		escapeKeyField(k.Policy),
+		escapeKeyField(k.Machine),
+		strconv.FormatUint(k.Seed, 10),
+		escapeKeyField(k.Params),
+	}, "|")
+}
+
+// ParseCellKey parses a String rendering back into the key.
+func ParseCellKey(s string) (CellKey, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 5 {
+		return CellKey{}, fmt.Errorf("experiment: cell key %q has %d fields, want 5 (scenario|policy|machine|seed|params)", s, len(parts))
+	}
+	seed, err := strconv.ParseUint(parts[3], 10, 64)
+	if err != nil {
+		return CellKey{}, fmt.Errorf("experiment: cell key %q: bad seed field: %v", s, err)
+	}
+	fields := make([]string, 0, 4)
+	for _, i := range []int{0, 1, 2, 4} {
+		f, err := unescapeKeyField(parts[i])
+		if err != nil {
+			return CellKey{}, fmt.Errorf("experiment: cell key %q: %v", s, err)
+		}
+		fields = append(fields, f)
+	}
+	return CellKey{Scenario: fields[0], Policy: fields[1], Machine: fields[2], Seed: seed, Params: fields[3]}, nil
+}
+
+// escapeKeyField protects the field separator: '%' and '|' become %25 and
+// %7C; everything else (the grammar's ':', '+', '@', '(', ')' included)
+// stays readable.
+func escapeKeyField(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	return strings.ReplaceAll(s, "|", "%7C")
+}
+
+func unescapeKeyField(s string) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			sb.WriteByte(s[i])
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("truncated escape %q", s[i:])
+		}
+		switch s[i+1 : i+3] {
+		case "25":
+			sb.WriteByte('%')
+		case "7C", "7c":
+			sb.WriteByte('|')
+		default:
+			return "", fmt.Errorf("unknown escape %%%s", s[i+1:i+3])
+		}
+		i += 2
+	}
+	return sb.String(), nil
+}

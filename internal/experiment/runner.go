@@ -160,11 +160,13 @@ func (r *Runner) baselineBig(comp workload.Composition, appIdx int, cfg cpu.Conf
 
 // baselineBigCtx returns (cached) the turnaround of scenario app appIdx
 // running alone on an all-big machine with the same core count as cfg.
-// The cache key uses the closed canonical form, so arrival variants of
-// one mix share their baselines.
+// The cache key is the CellKey of the baseline run itself — the closed
+// canonical form of the scenario under linux on the symmetric big machine
+// — plus the app index, so arrival variants of one mix share their
+// baselines and every shard derives the same key independently.
 func (r *Runner) baselineBigCtx(ctx context.Context, spec workload.Spec, appIdx int, cfg cpu.Config) (sim.Time, error) {
 	n := cfg.NumCores()
-	key := fmt.Sprintf("%s|%d|%d|%d", spec.Closed().Canonical(), appIdx, n, r.Seed)
+	key := BaselineKey(spec, appIdx, n, r.Seed, r.Params)
 	r.mu.Lock()
 	if v, ok := r.baselines[key]; ok {
 		r.mu.Unlock()
@@ -203,12 +205,15 @@ func (r *Runner) ScenarioScore(spec workload.Spec, cfg cpu.Config, kind string) 
 	return r.specScore(context.Background(), spec, cfg, kind, nil)
 }
 
-// configKey fingerprints a machine for the memo cache. Config.Name alone
-// is not identity: user-built palettes can generate the same name for
-// materially different machines (other frequencies, ladders, tier
-// parameters), which must not share cached scores.
-func configKey(cfg cpu.Config) string {
-	return fmt.Sprintf("%s#%v#%v", cfg.Name, cfg.Kinds, cfg.Tiers())
+// BaselineKey is the content address of one big-only-alone baseline: the
+// CellKey of the closed scenario under linux on the symmetric big machine,
+// suffixed with the app index. Cells of different grammar spellings (and
+// of different arrival variants) of one scenario resolve to the same
+// baseline keys, which is what lets shards and the serve cache dedup the
+// shared baseline work.
+func BaselineKey(spec workload.Spec, appIdx, cores int, seed uint64, params kernel.Params) string {
+	k := NewCellKey(spec.Closed(), SchedLinux, cpu.NewSymmetric(cpu.Big, cores), seed, params)
+	return fmt.Sprintf("%s|app=%d", k, appIdx)
 }
 
 // specScore computes (or returns memoised) one cell. A non-nil tracer
@@ -216,7 +221,7 @@ func configKey(cfg cpu.Config) string {
 // not traced) and disables memoisation for the cell, so the events always
 // correspond to a real execution.
 func (r *Runner) specScore(ctx context.Context, spec workload.Spec, cfg cpu.Config, kind string, tracer func(bigFirst bool, ev kernel.TraceEvent)) (metrics.MixScore, error) {
-	key := fmt.Sprintf("%s|%s|%s|%s|%d", spec.Name, spec.Canonical(), configKey(cfg), kind, r.Seed)
+	key := NewCellKey(spec, kind, cfg, r.Seed, r.Params).String()
 	if tracer == nil {
 		r.mu.Lock()
 		if v, ok := r.mixes[key]; ok {

@@ -32,6 +32,12 @@ type BatchKey struct {
 type BatchCell struct {
 	Key   BatchKey
 	Score metrics.MixScore
+	// CellKey is the canonical content address of the cell: the identity
+	// the checkpoint journal and the serve cache file it under.
+	CellKey CellKey
+	// Cached reports the score was replayed from the journal or answered
+	// by the cache rather than computed by this run.
+	Cached bool
 }
 
 // Batch is the context-aware batch executor underneath colab.Experiment:
@@ -77,6 +83,31 @@ type Batch struct {
 	// and the core order of the run (each cell simulates big-first then
 	// little-first; core IDs mean different tiers in the two layouts).
 	Tracer func(key BatchKey, bigFirst bool, ev kernel.TraceEvent)
+	// ShardIndex/ShardCount split the sweep deterministically across
+	// independent processes. The assignment unit is the baseline-sharing
+	// group — all cells of one (seed, closed canonical scenario), which
+	// share big-only-alone baselines — numbered in cross-product order and
+	// dealt round-robin, so no baseline is ever computed by two shards.
+	// Every shard derives the identical assignment from the batch spec
+	// alone, each returns its own cells in cross-product order, and the
+	// union across shards is byte-identical to an unsharded run. Zero
+	// ShardCount (or 1) runs everything.
+	ShardIndex, ShardCount int
+	// Observer, when set, receives every cell of this batch's result set
+	// in deterministic cross-product order, each as soon as it and all its
+	// predecessors have completed — a streaming face whose delivery order
+	// is independent of worker scheduling. Cells are delivered on worker
+	// goroutines; observers that need to abort use the run context.
+	Observer func(BatchCell)
+	// Journal, when set, checkpoints the sweep: completed cells are
+	// recorded (fsynced) as they land, and cells already on record are
+	// replayed instead of recomputed, so a killed sweep resumes where it
+	// died with byte-identical final output.
+	Journal *Journal
+	// Cache, when set, is the content-addressed cell store consulted
+	// before and filled after every cell computation; overlapping batches
+	// sharing one Cache dedup their common cells (colab-serve's layer).
+	Cache *Cache
 
 	// runners pre-seeds per-seed runners so callers (Runner.RunMatrix) can
 	// share memo caches with the batch.
@@ -100,6 +131,12 @@ func (b *Batch) validate() error {
 		if err := policy.Check(p); err != nil {
 			return err
 		}
+	}
+	if b.ShardCount < 0 || b.ShardIndex < 0 {
+		return fmt.Errorf("experiment: negative shard coordinates %d/%d", b.ShardIndex, b.ShardCount)
+	}
+	if b.ShardCount > 0 && b.ShardIndex >= b.ShardCount {
+		return fmt.Errorf("experiment: shard index %d out of range for %d shards", b.ShardIndex, b.ShardCount)
 	}
 	seen := make(map[string]bool, len(b.Configs))
 	for _, cfg := range b.Configs {
@@ -179,15 +216,33 @@ func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
 		spec workload.Spec
 		cfg  cpu.Config
 		key  BatchKey
+		ck   CellKey
 	}
 	var jobs []job
+	// Shard assignment works in baseline-sharing groups: all cells of one
+	// (seed, closed canonical scenario) share their big-only-alone
+	// baselines, so they travel together and no baseline is computed by
+	// two shards. Groups are numbered in first-appearance (cross-product)
+	// order from the batch spec alone, so every shard derives the same
+	// assignment independently.
+	groups := make(map[string]int)
 	for _, seed := range b.Seeds {
 		rn := b.runnerFor(seed, speedup)
 		for _, spec := range specs {
+			group := fmt.Sprintf("%d|%s", seed, spec.Closed().Canonical())
+			gi, ok := groups[group]
+			if !ok {
+				gi = len(groups)
+				groups[group] = gi
+			}
+			if b.ShardCount > 1 && gi%b.ShardCount != b.ShardIndex {
+				continue
+			}
 			for _, cfg := range b.Configs {
 				for _, kind := range b.Policies {
 					jobs = append(jobs, job{rn, spec, cfg,
-						BatchKey{Workload: spec.Name, Config: cfg.Name, Policy: kind, Seed: seed}})
+						BatchKey{Workload: spec.Name, Config: cfg.Name, Policy: kind, Seed: seed},
+						NewCellKey(spec, kind, cfg, seed, b.Params)})
 				}
 			}
 		}
@@ -212,12 +267,33 @@ func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
 		firstErr error
 		errOnce  sync.Once
 		wg       sync.WaitGroup
+		obsMu    sync.Mutex
+		obsDone  []bool
+		obsNext  int
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
 			firstErr = err
 			cancel()
 		})
+	}
+	if b.Observer != nil {
+		obsDone = make([]bool, len(jobs))
+	}
+	// deliver flushes the observer stream: cell i is handed over once every
+	// cell before it has completed, so the delivery order is the
+	// cross-product order no matter which workers finish first.
+	deliver := func(i int) {
+		if b.Observer == nil {
+			return
+		}
+		obsMu.Lock()
+		obsDone[i] = true
+		for obsNext < len(obsDone) && obsDone[obsNext] {
+			b.Observer(results[obsNext])
+			obsNext++
+		}
+		obsMu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -229,16 +305,42 @@ func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
 					return
 				}
 				j := jobs[i]
-				var tracer func(bool, kernel.TraceEvent)
-				if b.Tracer != nil {
-					tracer = func(bigFirst bool, ev kernel.TraceEvent) { b.Tracer(j.key, bigFirst, ev) }
+				var (
+					score  metrics.MixScore
+					cached bool
+					err    error
+				)
+				if b.Journal != nil {
+					if v, ok := b.Journal.Lookup(j.ck); ok {
+						score, cached = v, true
+						if b.Cache != nil {
+							b.Cache.Store(j.ck, v)
+						}
+					}
 				}
-				score, err := j.rn.specScore(runCtx, j.spec, j.cfg, j.key.Policy, tracer)
+				if !cached {
+					compute := func() (metrics.MixScore, error) {
+						var tracer func(bool, kernel.TraceEvent)
+						if b.Tracer != nil {
+							tracer = func(bigFirst bool, ev kernel.TraceEvent) { b.Tracer(j.key, bigFirst, ev) }
+						}
+						return j.rn.specScore(runCtx, j.spec, j.cfg, j.key.Policy, tracer)
+					}
+					if b.Cache != nil {
+						score, cached, err = b.Cache.Do(runCtx, j.ck, compute)
+					} else {
+						score, err = compute()
+					}
+					if err == nil && b.Journal != nil {
+						err = b.Journal.Record(j.ck, score)
+					}
+				}
 				if err != nil {
 					fail(err)
 					return
 				}
-				results[i] = BatchCell{Key: j.key, Score: score}
+				results[i] = BatchCell{Key: j.key, Score: score, CellKey: j.ck, Cached: cached}
+				deliver(i)
 			}
 		}()
 	}

@@ -90,6 +90,12 @@ const (
 	DefaultMaxEvents         = 30_000_000
 )
 
+// Canonical returns the params with every zero field replaced by its
+// default: the normalised value cell keys hash, so a zero Params and an
+// explicitly spelled-out default configuration (which run identically)
+// share cache and journal entries.
+func (p Params) Canonical() Params { return p.withDefaults() }
+
 func (p Params) withDefaults() Params {
 	if p.ContextSwitchCost == 0 {
 		p.ContextSwitchCost = DefaultContextSwitchCost
