@@ -30,8 +30,38 @@ func ParseCellKey(s string) (CellKey, error) { return experiment.ParseCellKey(s)
 // WithCellCache; Stats exposes the hit/miss counters.
 type CellCache = experiment.Cache
 
-// NewCellCache returns an empty cell cache.
-func NewCellCache() *CellCache { return experiment.NewCache() }
+// CellCacheOption configures a CellCache at construction.
+type CellCacheOption func(*CellCache)
+
+// WithCellCacheLimit bounds the cache to at most maxEntries cells with
+// least-recently-used eviction: every hit, store and computed fill
+// refreshes a cell's recency, and inserting past the bound drops the
+// least recently used cell. Evictions are counted in CacheStats.
+// maxEntries <= 0 leaves the cache unbounded (the default).
+func WithCellCacheLimit(maxEntries int) CellCacheOption {
+	return func(c *CellCache) { c.SetLimit(maxEntries) }
+}
+
+// NewCellCache returns an empty cell cache, unbounded unless configured
+// with WithCellCacheLimit.
+func NewCellCache(opts ...CellCacheOption) *CellCache {
+	c := experiment.NewCache()
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
 
 // CacheStats is a point-in-time snapshot of a CellCache's counters.
 type CacheStats = experiment.CacheStats
+
+// CompactJournal rewrites a checkpoint journal (WithCheckpoint) in
+// place, dropping duplicate records (the first occurrence of each cell
+// key is kept verbatim) and any torn final line from a crash mid-write.
+// The rewrite is atomic — a crash during compaction leaves the original
+// journal intact — and the compacted journal replays to the identical
+// cell set. It returns the records kept and dropped. The colab-fleet
+// binary exposes this as -compact.
+func CompactJournal(path string) (kept, dropped int, err error) {
+	return experiment.CompactJournal(path)
+}

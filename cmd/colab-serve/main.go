@@ -12,9 +12,15 @@
 //
 // Usage:
 //
-//	colab-serve -addr :8080
+//	colab-serve -addr :8080 -max-concurrent 8 -cache-limit 100000
 //	curl 'localhost:8080/run?workload=Sync-1&policy=linux,colab&seed=1'
 //	curl localhost:8080/stats
+//
+// -max-concurrent bounds simultaneous /run sweeps (excess requests get
+// 429 with Retry-After rather than queueing unboundedly), -cache-limit
+// bounds the cell cache with LRU eviction, and SIGTERM/SIGINT shut down
+// gracefully: the listener closes, in-flight /run streams drain to
+// completion (up to -drain-timeout), then the process exits 0.
 //
 // Endpoints:
 //
@@ -24,14 +30,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	colab "colab"
 	"colab/internal/cpu"
@@ -39,26 +49,64 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "bound simultaneous /run sweeps; excess requests get 429 (0 = unbounded)")
+	cacheLimit := flag.Int("cache-limit", 0, "bound the cell cache to this many cells, LRU-evicted (0 = unbounded)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget for in-flight streams")
 	flag.Parse()
-	s := newServer()
+	s := newServer(serverOptions{maxConcurrent: *maxConcurrent, cacheLimit: *cacheLimit})
+	srv := &http.Server{Addr: *addr, Handler: s}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "colab-serve: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, s); err != nil {
+	select {
+	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "colab-serve: %v\n", err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	fmt.Fprintf(os.Stderr, "colab-serve: shutting down, draining in-flight streams (up to %s)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "colab-serve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "colab-serve: drained, exiting")
 }
 
-// server is the service state: one shared cell cache and the request
-// counters. Its handler is safe for concurrent use.
+// serverOptions configure the service: both zero values mean unbounded.
+type serverOptions struct {
+	maxConcurrent int
+	cacheLimit    int
+}
+
+// server is the service state: one shared cell cache, the concurrency
+// gate and the request counters. Its handler is safe for concurrent use.
 type server struct {
 	mux         *http.ServeMux
 	cache       *colab.CellCache
+	sem         chan struct{} // nil = unbounded
 	requests    atomic.Uint64
 	cellsServed atomic.Uint64
+	rejected    atomic.Uint64
+	inflight    atomic.Int64
+
+	// testHold, when set, is called while a /run request holds its
+	// concurrency slot — the tests' deterministic way to keep a sweep
+	// in flight. Nil in production.
+	testHold func()
 }
 
-func newServer() *server {
-	s := &server{mux: http.NewServeMux(), cache: colab.NewCellCache()}
+func newServer(opts serverOptions) *server {
+	s := &server{
+		mux:   http.NewServeMux(),
+		cache: colab.NewCellCache(colab.WithCellCacheLimit(opts.cacheLimit)),
+	}
+	if opts.maxConcurrent > 0 {
+		s.sem = make(chan struct{}, opts.maxConcurrent)
+	}
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -162,6 +210,24 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			// At capacity: shed rather than queue, so latency stays bounded
+			// and the client can retry or go elsewhere.
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "colab-serve: at capacity (-max-concurrent sweeps in flight), retry shortly", http.StatusTooManyRequests)
+			return
+		}
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.testHold != nil {
+		s.testHold()
+	}
 	if err := r.ParseForm(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -213,6 +279,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(struct {
 		Requests    uint64           `json:"requests"`
 		CellsServed uint64           `json:"cells_served"`
+		Rejected    uint64           `json:"rejected"`
+		Inflight    int64            `json:"inflight"`
 		Cache       colab.CacheStats `json:"cache"`
-	}{s.requests.Load(), s.cellsServed.Load(), s.cache.Stats()})
+	}{s.requests.Load(), s.cellsServed.Load(), s.rejected.Load(), s.inflight.Load(), s.cache.Stats()})
 }

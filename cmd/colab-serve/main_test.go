@@ -3,9 +3,11 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	colab "colab"
@@ -14,6 +16,8 @@ import (
 type statsReply struct {
 	Requests    uint64           `json:"requests"`
 	CellsServed uint64           `json:"cells_served"`
+	Rejected    uint64           `json:"rejected"`
+	Inflight    int64            `json:"inflight"`
 	Cache       colab.CacheStats `json:"cache"`
 }
 
@@ -63,7 +67,7 @@ func runCells(t *testing.T, ts *httptest.Server, query string) []cellLine {
 // deterministic cross-product order, and a second identical request is
 // answered entirely from the shared cache.
 func TestRunStreamsAndCaches(t *testing.T) {
-	ts := httptest.NewServer(newServer())
+	ts := httptest.NewServer(newServer(serverOptions{}))
 	defer ts.Close()
 
 	const query = "workload=Sync-1&policy=linux,wash&seed=1,2&workers=4"
@@ -118,7 +122,7 @@ func TestRunStreamsAndCaches(t *testing.T) {
 // The cache is content-addressed on canonical coordinates: a different
 // spelling of the same scenario and policy composition hits it.
 func TestCacheIsSpellingIndependent(t *testing.T) {
-	ts := httptest.NewServer(newServer())
+	ts := httptest.NewServer(newServer(serverOptions{}))
 	defer ts.Close()
 
 	a := runCells(t, ts, "workload="+
@@ -141,7 +145,7 @@ func TestCacheIsSpellingIndependent(t *testing.T) {
 
 // Sharded requests against the service cover the sweep exactly once.
 func TestShardedRequests(t *testing.T) {
-	ts := httptest.NewServer(newServer())
+	ts := httptest.NewServer(newServer(serverOptions{}))
 	defer ts.Close()
 
 	const base = "workload=Sync-1&policy=linux,wash&seed=1,2"
@@ -164,7 +168,7 @@ func TestShardedRequests(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	ts := httptest.NewServer(newServer())
+	ts := httptest.NewServer(newServer(serverOptions{}))
 	defer ts.Close()
 	for _, tc := range []struct{ name, query string }{
 		{"no workload", "policy=linux"},
@@ -187,7 +191,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	ts := httptest.NewServer(newServer())
+	ts := httptest.NewServer(newServer(serverOptions{}))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -196,6 +200,77 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/healthz -> %s", resp.Status)
+	}
+}
+
+// With -max-concurrent 1, a second sweep arriving while one streams is
+// shed with 429 + Retry-After instead of queueing, and capacity frees as
+// soon as the stream drains.
+func TestMaxConcurrentSheds(t *testing.T) {
+	s := newServer(serverOptions{maxConcurrent: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var held sync.Once
+	s.testHold = func() {
+		// Only the first sweep holds; later requests run through.
+		held.Do(func() { close(entered); <-release })
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/run?workload=Sync-1&policy=linux&seed=1")
+		if err == nil {
+			_, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		firstDone <- err
+	}()
+	<-entered // the first sweep now provably holds the only slot
+
+	second, err := http.Get(ts.URL + "/run?workload=Sync-1&policy=linux&seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("concurrent request -> %s, want 429", second.Status)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Error("429 response has no Retry-After header")
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	// Capacity released: the same request now streams.
+	if cells := runCells(t, ts, "workload=Sync-1&policy=linux&seed=1"); len(cells) != 1 {
+		t.Fatalf("post-drain request returned %d cells, want 1", len(cells))
+	}
+	if s := getStats(t, ts); s.Rejected != 1 || s.Inflight != 0 {
+		t.Errorf("stats rejected=%d inflight=%d, want 1 and 0", s.Rejected, s.Inflight)
+	}
+}
+
+// With -cache-limit, the cell cache evicts LRU cells past the bound and
+// reports it on /stats.
+func TestCacheLimitEvicts(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverOptions{cacheLimit: 2}))
+	defer ts.Close()
+	if cells := runCells(t, ts, "workload=Sync-1&policy=linux,wash&seed=1,2"); len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	s := getStats(t, ts)
+	if s.Cache.Limit != 2 {
+		t.Errorf("stats report cache limit %d, want 2", s.Cache.Limit)
+	}
+	if s.Cache.Cells > 2 {
+		t.Errorf("cache holds %d cells over its limit of 2", s.Cache.Cells)
+	}
+	if s.Cache.Evictions == 0 {
+		t.Error("4 cells through a 2-cell cache evicted nothing")
 	}
 }
 

@@ -46,6 +46,7 @@ type Experiment struct {
 	checkpoint string
 	cache      *CellCache
 	observer   func(ExperimentResult)
+	fleet      *Fleet
 }
 
 // ExperimentOption configures an Experiment session.
@@ -232,8 +233,13 @@ func (e *Experiment) matrix() (specs []workload.Spec, machines []Config, policie
 }
 
 // Run executes the sweep and returns one result per cross-product cell
-// (one result per this shard's cells when WithShard is set).
+// (one result per this shard's cells when WithShard is set). With
+// WithFleet, the sweep runs on the fleet's workers instead of in-process
+// and returns the full reassembled result set.
 func (e *Experiment) Run(ctx context.Context) (*ExperimentResults, error) {
+	if e.fleet != nil {
+		return e.runFleet(ctx)
+	}
 	specs, machines, policies, seeds, err := e.matrix()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"container/list"
 	"context"
 	"sync"
 
@@ -17,21 +18,39 @@ type CacheStats struct {
 	Hits uint64 `json:"hits"`
 	// Misses counts lookups that had to compute their cell.
 	Misses uint64 `json:"misses"`
+	// Evictions counts cells dropped by the LRU bound (0 while the cache
+	// is unbounded).
+	Evictions uint64 `json:"evictions"`
+	// Limit is the configured maximum number of cells (0 = unbounded).
+	Limit int `json:"limit"`
 }
 
 // Cache is a concurrency-safe, content-addressed store of scored cells
-// keyed by CellKey: the long-lived layer behind colab-serve that lets
-// repeated and overlapping requests share work. Identical in-flight
-// computations are deduplicated — when two requests race on one cell, the
-// second waits for the first's result rather than recomputing — and a
-// leader failing (its request cancelled, say) promotes a waiter to
-// compute, so one aborted request never poisons another.
+// keyed by CellKey: the long-lived layer behind colab-serve and the fleet
+// workers that lets repeated and overlapping requests share work.
+// Identical in-flight computations are deduplicated — when two requests
+// race on one cell, the second waits for the first's result rather than
+// recomputing — and a leader failing (its request cancelled, say) promotes
+// a waiter to compute, so one aborted request never poisons another.
+//
+// The cache is unbounded by default; SetLimit bounds it to a maximum
+// number of cells with least-recently-used eviction (every hit, store and
+// computed fill refreshes a cell's recency). In-flight computations are
+// never evicted — only completed cells count against the limit.
 type Cache struct {
 	mu       sync.Mutex
-	cells    map[string]metrics.MixScore
+	cells    map[string]*list.Element // -> *cacheEntry, also held in lru
+	lru      *list.List               // front = most recently used
+	limit    int
 	inflight map[string]*inflightCell
 	hits     uint64
 	misses   uint64
+	evicted  uint64
+}
+
+type cacheEntry struct {
+	key   string
+	score metrics.MixScore
 }
 
 type inflightCell struct {
@@ -40,21 +59,66 @@ type inflightCell struct {
 	err   error
 }
 
-// NewCache returns an empty cell cache.
+// NewCache returns an empty, unbounded cell cache.
 func NewCache() *Cache {
 	return &Cache{
-		cells:    make(map[string]metrics.MixScore),
+		cells:    make(map[string]*list.Element),
+		lru:      list.New(),
 		inflight: make(map[string]*inflightCell),
 	}
 }
 
+// SetLimit bounds the cache to at most maxEntries cells, evicting the
+// least recently used cells immediately if it already holds more;
+// maxEntries <= 0 removes the bound. Safe to call at any time.
+func (c *Cache) SetLimit(maxEntries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	c.limit = maxEntries
+	c.evictOverflow()
+}
+
+// evictOverflow drops least-recently-used cells until the limit holds.
+// Callers hold c.mu.
+func (c *Cache) evictOverflow() {
+	if c.limit <= 0 {
+		return
+	}
+	for c.lru.Len() > c.limit {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.cells, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// insert stores (or refreshes) a scored cell and applies the LRU bound.
+// Callers hold c.mu.
+func (c *Cache) insert(ks string, score metrics.MixScore) {
+	if el, ok := c.cells[ks]; ok {
+		el.Value.(*cacheEntry).score = score
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.cells[ks] = c.lru.PushFront(&cacheEntry{key: ks, score: score})
+	c.evictOverflow()
+}
+
 // Lookup returns the cached score of a cell, without touching the hit or
-// miss counters (use Do for counted access).
+// miss counters (use Do for counted access). A found cell's recency is
+// refreshed.
 func (c *Cache) Lookup(key CellKey) (metrics.MixScore, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.cells[key.String()]
-	return v, ok
+	el, ok := c.cells[key.String()]
+	if !ok {
+		return metrics.MixScore{}, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).score, true
 }
 
 // Store inserts a scored cell directly (journal replays warm the cache
@@ -62,14 +126,14 @@ func (c *Cache) Lookup(key CellKey) (metrics.MixScore, bool) {
 func (c *Cache) Store(key CellKey, score metrics.MixScore) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cells[key.String()] = score
+	c.insert(key.String(), score)
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Cells: len(c.cells), Hits: c.hits, Misses: c.misses}
+	return CacheStats{Cells: len(c.cells), Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Limit: c.limit}
 }
 
 // Do returns the cell's score, computing it via compute on a miss. The
@@ -81,10 +145,12 @@ func (c *Cache) Do(ctx context.Context, key CellKey, compute func() (metrics.Mix
 	ks := key.String()
 	for {
 		c.mu.Lock()
-		if v, ok := c.cells[ks]; ok {
+		if el, ok := c.cells[ks]; ok {
 			c.hits++
+			c.lru.MoveToFront(el)
+			score := el.Value.(*cacheEntry).score
 			c.mu.Unlock()
-			return v, true, nil
+			return score, true, nil
 		}
 		if fl, ok := c.inflight[ks]; ok {
 			c.mu.Unlock()
@@ -94,9 +160,14 @@ func (c *Cache) Do(ctx context.Context, key CellKey, compute func() (metrics.Mix
 				return metrics.MixScore{}, false, ctx.Err()
 			}
 			if fl.err == nil {
-				// The leader stored the cell; loop to pick it up (and count
-				// the hit) from the map.
-				continue
+				// The leader stored the cell. Under a tight LRU bound it may
+				// already have been evicted again, so return the in-flight
+				// result directly — still a hit, never a recompute.
+				c.mu.Lock()
+				c.hits++
+				c.insert(ks, fl.score)
+				c.mu.Unlock()
+				return fl.score, true, nil
 			}
 			if err := ctx.Err(); err != nil {
 				return metrics.MixScore{}, false, err
@@ -113,7 +184,7 @@ func (c *Cache) Do(ctx context.Context, key CellKey, compute func() (metrics.Mix
 		c.mu.Lock()
 		delete(c.inflight, ks)
 		if err == nil {
-			c.cells[ks] = score
+			c.insert(ks, score)
 		}
 		c.mu.Unlock()
 		fl.score, fl.err = score, err

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -195,5 +196,193 @@ func TestCacheLeaderFailurePromotesWaiter(t *testing.T) {
 	<-leaderDone
 	if v := <-waiterDone; (v != metrics.MixScore{HANTT: 5, HSTP: 5}) {
 		t.Errorf("promoted waiter got %v", v)
+	}
+}
+
+// The LRU bound: inserting past the limit evicts the least recently used
+// cell, recency is refreshed by hits, and the counters report it all.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache()
+	c.SetLimit(2)
+	score := func(i int) metrics.MixScore { return metrics.MixScore{HANTT: float64(i)} }
+	c.Store(testKey(1), score(1))
+	c.Store(testKey(2), score(2))
+	// Touch key 1 so key 2 is now the least recently used.
+	if _, ok := c.Lookup(testKey(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	c.Store(testKey(3), score(3))
+	if _, ok := c.Lookup(testKey(2)); ok {
+		t.Error("least recently used cell survived eviction")
+	}
+	if _, ok := c.Lookup(testKey(1)); !ok {
+		t.Error("recently touched cell was evicted")
+	}
+	if _, ok := c.Lookup(testKey(3)); !ok {
+		t.Error("newest cell was evicted")
+	}
+	st := c.Stats()
+	if st.Cells != 2 || st.Limit != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 cells, limit 2, 1 eviction", st)
+	}
+	// Dropping the limit evicts immediately; lifting it stops evicting.
+	c.SetLimit(1)
+	if st := c.Stats(); st.Cells != 1 || st.Evictions != 2 {
+		t.Errorf("after SetLimit(1): %+v, want 1 cell, 2 evictions", st)
+	}
+	c.SetLimit(0)
+	c.Store(testKey(4), score(4))
+	c.Store(testKey(5), score(5))
+	if st := c.Stats(); st.Cells != 3 || st.Evictions != 2 {
+		t.Errorf("unbounded again: %+v, want 3 cells and no new evictions", st)
+	}
+}
+
+// An evicted cell is recomputed (a counted miss), not resurrected.
+func TestCacheEvictedCellRecomputes(t *testing.T) {
+	c := NewCache()
+	c.SetLimit(1)
+	ctx := context.Background()
+	computes := 0
+	compute := func() (metrics.MixScore, error) {
+		computes++
+		return metrics.MixScore{HANTT: 7}, nil
+	}
+	if _, cached, _ := c.Do(ctx, testKey(1), compute); cached {
+		t.Fatal("first compute claims cached")
+	}
+	c.Store(testKey(2), metrics.MixScore{}) // evicts key 1
+	if _, cached, _ := c.Do(ctx, testKey(1), compute); cached {
+		t.Fatal("evicted cell claims cached")
+	}
+	if computes != 2 {
+		t.Fatalf("computed %d times, want 2", computes)
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Evictions == 0 {
+		t.Errorf("stats = %+v, want 2 misses and at least 1 eviction", st)
+	}
+}
+
+// Do under a tight limit with concurrent waiters: the waiter path must
+// return the leader's result even when the stored cell is immediately
+// evicted again.
+func TestCacheSingleflightUnderTightLimit(t *testing.T) {
+	c := NewCache()
+	c.SetLimit(1)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var computes atomic.Int32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				score, _, err := c.Do(ctx, testKey(k), func() (metrics.MixScore, error) {
+					computes.Add(1)
+					return metrics.MixScore{HANTT: float64(k)}, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if score.HANTT != float64(k) {
+					t.Errorf("key %d returned score %v", k, score.HANTT)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Cells > 1 {
+		t.Errorf("cache holds %d cells over its limit of 1", st.Cells)
+	}
+	_ = computes.Load() // recomputes are allowed under eviction; wrong scores are not
+}
+
+// CompactJournal drops duplicate and torn records, keeps first
+// occurrences verbatim, and replays to the identical cell set.
+func TestCompactJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ndjson")
+	want := metrics.MixScore{HANTT: 1.0 / 3.0, HSTP: 2.0000000000000004}
+	lines := ""
+	add := func(key CellKey, s metrics.MixScore) {
+		rec, _ := json.Marshal(JournalRecord{Key: key.String(), HANTT: s.HANTT, HSTP: s.HSTP})
+		lines += string(rec) + "\n"
+	}
+	add(testKey(1), want)
+	add(testKey(2), metrics.MixScore{HANTT: 2})
+	add(testKey(1), metrics.MixScore{HANTT: 99}) // superseded duplicate
+	add(testKey(2), metrics.MixScore{HANTT: 2})  // identical duplicate
+	lines += `{"key":"torn`                      // crash mid-append
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kept, dropped, err := CompactJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 || dropped != 2 {
+		t.Errorf("kept %d dropped %d, want 2 and 2 (the torn tail is not counted)", kept, dropped)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 2 {
+		t.Fatalf("compacted journal replays %d cells, want 2", j.Len())
+	}
+	if got, ok := j.Lookup(testKey(1)); !ok || got != want {
+		t.Errorf("first occurrence not kept verbatim: %v, want %v", got, want)
+	}
+	// Compacting a compacted journal is a no-op.
+	kept2, dropped2, err := CompactJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept2 != 2 || dropped2 != 0 {
+		t.Errorf("recompaction kept %d dropped %d, want 2 and 0", kept2, dropped2)
+	}
+}
+
+// CompactJournal on a missing or empty journal is clean.
+func TestCompactJournalEdges(t *testing.T) {
+	if _, _, err := CompactJournal(filepath.Join(t.TempDir(), "absent.ndjson")); err == nil {
+		t.Error("compacting a missing journal must error")
+	}
+	path := filepath.Join(t.TempDir(), "empty.ndjson")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kept, dropped, err := CompactJournal(path)
+	if err != nil || kept != 0 || dropped != 0 {
+		t.Errorf("empty journal: kept %d dropped %d err %v, want zeros", kept, dropped, err)
+	}
+}
+
+// WriteJournal materialises records into a journal OpenJournal replays
+// bit-identically — the mechanism coordinators use to ship checkpoint
+// state to replacement workers.
+func TestWriteJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shipped.ndjson")
+	recs := []JournalRecord{
+		{Key: testKey(1).String(), HANTT: 1.0 / 3.0, HSTP: 2.0000000000000004},
+		{Key: testKey(2).String(), HANTT: 5, HSTP: 6},
+	}
+	if err := WriteJournal(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 2 {
+		t.Fatalf("replayed %d cells, want 2", j.Len())
+	}
+	got, ok := j.Lookup(testKey(1))
+	if !ok || got.HANTT != 1.0/3.0 || got.HSTP != 2.0000000000000004 {
+		t.Errorf("shipped journal not bit-identical: %v", got)
 	}
 }

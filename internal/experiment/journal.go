@@ -6,15 +6,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"colab/internal/metrics"
 )
 
-// journalEntry is one NDJSON line of a checkpoint journal. Scores are
-// marshalled with encoding/json's shortest-round-trip float rendering, so
-// a replayed cell is bit-identical to the computed one.
-type journalEntry struct {
+// JournalRecord is one NDJSON line of a checkpoint journal: a completed
+// cell's canonical key and its scores. Scores are marshalled with
+// encoding/json's shortest-round-trip float rendering, so a replayed cell
+// is bit-identical to the computed one. The same shape travels on the
+// fleet wire: a coordinator ships a failed shard's partial journal to the
+// replacement worker as a list of records.
+type JournalRecord struct {
 	Key   string  `json:"key"`
 	HANTT float64 `json:"h_antt"`
 	HSTP  float64 `json:"h_stp"`
@@ -39,6 +43,31 @@ type Journal struct {
 	done map[string]metrics.MixScore
 }
 
+// scanJournal walks the NDJSON journal bytes line by line, calling record
+// for every complete entry (with the raw line preserved). It returns the
+// byte length of a torn trailing fragment — the signature of a kill
+// mid-append: the file ends without a newline in a half-written record —
+// or an error when an interior line is malformed, which means the file is
+// not a journal.
+func scanJournal(path string, data []byte, record func(raw []byte, e JournalRecord)) (torn int, err error) {
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		var e JournalRecord
+		if err := json.Unmarshal(trimmed, &e); err != nil || e.Key == "" {
+			if i == len(lines)-1 {
+				return len(line), nil
+			}
+			return 0, fmt.Errorf("experiment: journal %s line %d is not a cell record: %q", path, i+1, trimmed)
+		}
+		record(trimmed, e)
+	}
+	return 0, nil
+}
+
 // OpenJournal opens (creating if missing) the checkpoint journal at path
 // and loads every completed cell. A truncated final line — the signature
 // of a kill mid-write — is tolerated and dropped; malformed interior lines
@@ -49,33 +78,110 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, fmt.Errorf("experiment: reading journal %s: %w", path, err)
 	}
 	done := make(map[string]metrics.MixScore)
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
-		trimmed := bytes.TrimSpace(line)
-		if len(trimmed) == 0 {
-			continue
-		}
-		var e journalEntry
-		if err := json.Unmarshal(trimmed, &e); err != nil || e.Key == "" {
-			if i == len(lines)-1 {
-				// The file ends without a newline in a half-written record:
-				// the process died mid-append. Truncate the fragment away —
-				// appending after it would weld two records onto one line —
-				// and let the cell rerun.
-				if err := os.Truncate(path, int64(len(data)-len(line))); err != nil {
-					return nil, fmt.Errorf("experiment: truncating torn journal tail in %s: %w", path, err)
-				}
-				break
-			}
-			return nil, fmt.Errorf("experiment: journal %s line %d is not a cell record: %q", path, i+1, trimmed)
-		}
+	torn, err := scanJournal(path, data, func(_ []byte, e JournalRecord) {
 		done[e.Key] = metrics.MixScore{HANTT: e.HANTT, HSTP: e.HSTP}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if torn > 0 {
+		// The process died mid-append. Truncate the fragment away —
+		// appending after it would weld two records onto one line — and
+		// let the cell rerun.
+		if err := os.Truncate(path, int64(len(data)-torn)); err != nil {
+			return nil, fmt.Errorf("experiment: truncating torn journal tail in %s: %w", path, err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: opening journal %s: %w", path, err)
 	}
 	return &Journal{f: f, done: done}, nil
+}
+
+// WriteJournal writes records as a fresh journal file at path (truncating
+// any previous content), fsynced before returning. The fleet layer uses
+// it to seed a replacement worker's checkpoint from the cells a failed
+// shard already streamed back.
+func WriteJournal(path string, recs []JournalRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("experiment: writing journal %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("experiment: writing journal %s: %w", path, err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("experiment: writing journal %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("experiment: syncing journal %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// CompactJournal rewrites the checkpoint journal at path dropping
+// duplicate and torn records: for every cell key the first complete record
+// is kept verbatim (byte for byte — later records of a key are superseded
+// no-ops, since Journal.Record never re-records a known key), a torn
+// trailing fragment is dropped exactly as OpenJournal would drop it, and
+// the surviving lines keep their order. The rewrite is atomic (temp file,
+// fsync, rename), so a kill mid-compaction leaves either the old or the
+// new journal, never a mix. It returns the number of records kept and the
+// number of duplicate records dropped (a dropped torn tail is not
+// counted: it was never a record).
+//
+// Journals accumulate duplicates across processes — concatenated shard
+// journals, or a reassigned fleet shard whose replacement worker re-ran
+// with a shipped seed — which compaction folds away; million-cell sweep
+// journals shrink accordingly.
+func CompactJournal(path string) (kept, dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiment: reading journal %s: %w", path, err)
+	}
+	var out bytes.Buffer
+	seen := make(map[string]bool)
+	if _, err := scanJournal(path, data, func(raw []byte, e JournalRecord) {
+		if seen[e.Key] {
+			dropped++
+			return
+		}
+		seen[e.Key] = true
+		kept++
+		out.Write(raw)
+		out.WriteByte('\n')
+	}); err != nil {
+		return 0, 0, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiment: compacting journal %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(out.Bytes()); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		return 0, 0, fmt.Errorf("experiment: compacting journal %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, 0, fmt.Errorf("experiment: compacting journal %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, 0, fmt.Errorf("experiment: compacting journal %s: %w", path, err)
+	}
+	return kept, dropped, nil
 }
 
 // Lookup returns the replayed score of a completed cell.
@@ -103,7 +209,7 @@ func (j *Journal) Record(key CellKey, score metrics.MixScore) error {
 	if _, ok := j.done[ks]; ok {
 		return nil
 	}
-	line, err := json.Marshal(journalEntry{Key: ks, HANTT: score.HANTT, HSTP: score.HSTP})
+	line, err := json.Marshal(JournalRecord{Key: ks, HANTT: score.HANTT, HSTP: score.HSTP})
 	if err != nil {
 		return fmt.Errorf("experiment: journal record: %w", err)
 	}

@@ -205,12 +205,6 @@ func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
 		speedup = model.ThreadPredictor()
 	}
 
-	specs := make([]workload.Spec, 0, len(b.Workloads)+len(b.Scenarios))
-	for _, comp := range b.Workloads {
-		specs = append(specs, comp.Spec())
-	}
-	specs = append(specs, b.Scenarios...)
-
 	type job struct {
 		rn   *Runner
 		spec workload.Spec
@@ -218,34 +212,15 @@ func (b *Batch) Run(ctx context.Context) ([]BatchCell, error) {
 		key  BatchKey
 		ck   CellKey
 	}
+	// The plan (planCells) owns the cross-product enumeration and the
+	// baseline-sharing-group shard assignment; a sharded run executes its
+	// own subsequence of the plan in plan order.
 	var jobs []job
-	// Shard assignment works in baseline-sharing groups: all cells of one
-	// (seed, closed canonical scenario) share their big-only-alone
-	// baselines, so they travel together and no baseline is computed by
-	// two shards. Groups are numbered in first-appearance (cross-product)
-	// order from the batch spec alone, so every shard derives the same
-	// assignment independently.
-	groups := make(map[string]int)
-	for _, seed := range b.Seeds {
-		rn := b.runnerFor(seed, speedup)
-		for _, spec := range specs {
-			group := fmt.Sprintf("%d|%s", seed, spec.Closed().Canonical())
-			gi, ok := groups[group]
-			if !ok {
-				gi = len(groups)
-				groups[group] = gi
-			}
-			if b.ShardCount > 1 && gi%b.ShardCount != b.ShardIndex {
-				continue
-			}
-			for _, cfg := range b.Configs {
-				for _, kind := range b.Policies {
-					jobs = append(jobs, job{rn, spec, cfg,
-						BatchKey{Workload: spec.Name, Config: cfg.Name, Policy: kind, Seed: seed},
-						NewCellKey(spec, kind, cfg, seed, b.Params)})
-				}
-			}
+	for _, cell := range b.planCells() {
+		if b.ShardCount > 1 && cell.shard != b.ShardIndex {
+			continue
 		}
+		jobs = append(jobs, job{b.runnerFor(cell.seed, speedup), cell.spec, cell.cfg, cell.key, cell.ck})
 	}
 
 	workers := b.Workers
