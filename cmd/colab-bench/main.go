@@ -77,6 +77,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	trigear := fs.Bool("trigear", false, "run the tri-gear (2B2M2S) policy extension table")
 	oppsweep := fs.Bool("oppsweep", false, "run the COLAB frequency-ladder sweep on the 2B2M2S machine")
 	replication := fs.Bool("replication", false, "run the multi-seed variance table")
+	classes := fs.Bool("classes", false, "run the standard-suite per-class table (@class= regrouping)")
 	detail := fs.Bool("detail", false, "print every per-workload cell of the matrix")
 	tables := fs.Bool("tables", false, "regenerate only tables 2-4")
 	csvPath := fs.String("csv", "", "also export the full 26x4 matrix as CSV to this file")
@@ -123,6 +124,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		tableJob("replication", func() (*experiment.Table, error) {
 			return experiment.ReplicationTable(nil)
 		}),
+		tableJob("classes", func() (*experiment.Table, error) {
+			// The standard suite under every paper policy plus the GTS/EAS
+			// extensions (Linux joins implicitly as the reference).
+			return r.ClassTable(ctx, nil, nil, []string{
+				experiment.SchedWASH, experiment.SchedCOLAB,
+				experiment.SchedGTS, experiment.SchedEAS,
+			})
+		}),
 		tableJob("detail", r.DetailTable),
 	}
 
@@ -144,6 +153,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		names = []string{"oppsweep"}
 	case *replication:
 		names = []string{"replication"}
+	case *classes:
+		names = []string{"classes"}
 	case *detail:
 		names = []string{"detail"}
 	case *tables:
@@ -151,8 +162,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	default:
 		for _, j := range all {
 			// replication is opt-in (5x the matrix cost); detail is opt-in
-			// (104 rows of output).
-			if j.name != "replication" && j.name != "detail" {
+			// (104 rows of output); classes is opt-in (its own suite sweep).
+			if j.name != "replication" && j.name != "detail" && j.name != "classes" {
 				names = append(names, j.name)
 			}
 		}

@@ -45,6 +45,7 @@ import (
 
 	colab "colab"
 	"colab/internal/cpu"
+	"colab/internal/workload"
 )
 
 func main() {
@@ -154,6 +155,15 @@ func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOpti
 	workloads := splitList(q["workload"])
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("at least one workload parameter is required (a registered name or a scenario-grammar spec)")
+	}
+	for _, w := range workloads {
+		// Unresolvable workloads fall through: Run reports them with the
+		// registered inventories.
+		if spec, err := workload.ResolveSpec(w); err == nil {
+			if terms := spec.TraceFiles(); len(terms) != 0 {
+				return nil, fmt.Errorf("workload %q replays the local trace file of term %q; the service resolves workloads by name, so inline the times with @arrive=trace(...)", w, terms[0])
+			}
+		}
 	}
 	opts = append(opts, colab.WithWorkloads(workloads...))
 	if names := splitList(q["machine"]); len(names) > 0 {

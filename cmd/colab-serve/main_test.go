@@ -3,9 +3,13 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -279,5 +283,30 @@ func TestSplitList(t *testing.T) {
 	want := []string{"a", "b", "c", "d"}
 	if strings.Join(got, "|") != strings.Join(want, "|") {
 		t.Errorf("splitList = %v, want %v", got, want)
+	}
+}
+
+// The service resolves workloads by name on every request, so a spec
+// that replays a local trace file is rejected with a message naming the
+// offending term.
+func TestTraceFileWorkloadsRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arrivals.trace")
+	if err := os.WriteFile(path, []byte("0\n5ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(serverOptions{}))
+	defer ts.Close()
+	spec := fmt.Sprintf("dedup:2*2@arrive=tracefile(%s)", path)
+	resp, err := http.Get(ts.URL + "/run?workload=" + url.QueryEscape(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tracefile workload -> %s, want 400 (body %q)", resp.Status, body)
+	}
+	if !strings.Contains(string(body), "trace file") || !strings.Contains(string(body), "dedup") {
+		t.Errorf("rejection does not name the trace-file term: %q", body)
 	}
 }

@@ -80,7 +80,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		w, err = spec.Build(*seed)
+		// The machine's aggregate capacity feeds machine-dependent load
+		// generators (load=util); every other spec ignores it.
+		w, err = spec.BuildFor(*seed, base.AggregateCapacity())
 	default:
 		return fmt.Errorf("one of -workload or -bench is required")
 	}

@@ -40,8 +40,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	describe := fs.String("describe", "", "dump one benchmark's structure, or print how a scenario-grammar spec parses")
 	threads := fs.Int("threads", 4, "thread count for a benchmark -describe")
 	tierSet := fs.String("tiers", "biglittle", "tier palette for -describe speedups: biglittle or trigear")
+	suite := fs.Bool("suite", false, "list the standard scenario suite with canonical grammar strings")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *suite {
+		fmt.Fprintln(stdout, "== standard scenario suite (runnable by name everywhere workloads are named) ==")
+		for _, s := range colab.StandardSuite() {
+			fmt.Fprintf(stdout, "%-18s class=%-12s %s\n", s.Name, s.Class, s.Description)
+			fmt.Fprintf(stdout, "%-18s %s\n", "", s.Spec.Canonical())
+		}
+		return nil
 	}
 
 	if *describe != "" {
@@ -84,7 +94,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout)
 	fmt.Fprintln(stdout, "== registered scenarios ==")
 	fmt.Fprintln(stdout, strings.Join(colab.ScenarioNames(), ", "))
-	fmt.Fprintln(stdout, "e.g. -describe \"Sync-2@seed=7\" or \"ferret:4@arrive=poisson(5ms)\"; modifiers: @seed=<n>, @arrive=<dur|fixed|uniform|poisson|trace>")
+	fmt.Fprintln(stdout, "e.g. -describe \"Sync-2@seed=7\" or \"ferret:4@arrive=poisson(5ms)\"; modifiers: @seed=<n>, @arrive=<dur|fixed|uniform|poisson|trace|tracefile>, @load=<util|closed|diurnal|burst>, @class=<label>")
+	fmt.Fprintln(stdout, "standard suite: -suite lists "+strings.Join(workload.SuiteNames(), ", "))
 	fmt.Fprintln(stdout)
 	fmt.Fprintln(stdout, "== registered scheduling policies ==")
 	fmt.Fprintln(stdout, strings.Join(colab.Policies(), ", "))
@@ -110,6 +121,12 @@ func describeSpec(stdout io.Writer, input string) error {
 	}
 	fmt.Fprintf(stdout, "spec      %s\ncanonical %s\nsystem    %s\napps      %d\n",
 		input, spec.Canonical(), system, spec.NumApps())
+	if spec.Load.Kind != colab.LoadNone {
+		fmt.Fprintf(stdout, "load      %s\n", spec.Load)
+	}
+	if spec.Class != "" {
+		fmt.Fprintf(stdout, "class     %s\n", spec.Class)
+	}
 	appID := 0
 	for ti, term := range spec.Terms {
 		src := term.Source

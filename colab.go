@@ -215,6 +215,22 @@ func BuildWorkload(spec string, seed uint64) (*Workload, error) {
 	return w, nil
 }
 
+// BuildWorkloadOn is BuildWorkload with a target machine supplied: specs
+// whose load generator derives its arrival rate from the machine
+// (load=util) need cfg's aggregate capacity; every other spec builds
+// identically either way.
+func BuildWorkloadOn(spec string, seed uint64, cfg Config) (*Workload, error) {
+	s, err := workload.ResolveSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("colab: %w", err)
+	}
+	w, err := s.BuildFor(seed, cfg.AggregateCapacity())
+	if err != nil {
+		return nil, fmt.Errorf("colab: %w", err)
+	}
+	return w, nil
+}
+
 // BuildBenchmark instantiates one benchmark alone (the Figure 4 setting).
 // Unknown names error with the full registered-benchmark list.
 func BuildBenchmark(name string, threads int, seed uint64) (*Workload, error) {

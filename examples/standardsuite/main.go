@@ -1,0 +1,58 @@
+// Standardsuite: runs the registered standard scenario suite —
+// datacenter-day, interactive-burst, batch-backfill — and regenerates
+// the per-class table its @class= labels define.
+//
+// The suite shows the load-generator layer end to end:
+//
+//  1. named, seed-pinned scenarios resolvable everywhere workloads are
+//     named (here: an Experiment session, by name alone),
+//  2. the @load= transformers — a diurnal rate envelope, a square-wave
+//     burst envelope, and open-loop admission at a target utilisation
+//     derived from the machine's aggregate capacity,
+//  3. experiment.ClassTable regrouping: scores geomeaned per @class=
+//     label, normalised to Linux, Figure 8-style.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"colab"
+)
+
+func main() {
+	// The suite is pre-registered: list it and run it by name.
+	fmt.Println("standard suite:")
+	var names []string
+	for _, s := range colab.StandardSuite() {
+		fmt.Printf("  %-18s class=%-12s %s\n", s.Name, s.Class, s.Description)
+		names = append(names, s.Name)
+	}
+
+	exp := colab.NewExperiment(
+		colab.WithWorkloads(names...),
+		colab.WithMachine(colab.Config2B2S),
+		colab.WithPolicies("linux", "colab"),
+	)
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nauto-baselined scores (H_ANTT lower/H_STP higher is better):")
+	if err := res.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// load=util derives its arrival rate from the target machine, so
+	// building the workload standalone takes the machine too.
+	w, err := colab.BuildWorkloadOn("batch-backfill", 1, colab.Config2B2S)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbatch-backfill admissions at 60% target utilisation of 2B2S:")
+	for _, app := range w.Apps {
+		fmt.Printf("  %-8s arrives %v\n", app.Name, app.Arrival)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"colab/internal/cpu"
 	"colab/internal/experiment"
 	"colab/internal/fleet"
+	"colab/internal/workload"
 )
 
 // Fleet is a multi-host sweep coordinator: an http.Handler that workers
@@ -107,6 +108,15 @@ func (e *Experiment) fleetSpec() (fleet.Spec, error) {
 	}
 	if len(e.workloads) == 0 {
 		return fleet.Spec{}, fmt.Errorf("colab: experiment has no workloads (use WithWorkloads)")
+	}
+	for _, w := range e.workloads {
+		spec, err := workload.ResolveSpec(w)
+		if err != nil {
+			continue // Run reports unresolvable workloads with full context.
+		}
+		if terms := spec.TraceFiles(); len(terms) != 0 {
+			return fleet.Spec{}, fmt.Errorf("colab: workload %q replays the local trace file of term %q and cannot travel the fleet wire by name (inline the times with @arrive=trace(...) instead)", w, terms[0])
+		}
 	}
 	machines := e.machines
 	if len(machines) == 0 {

@@ -378,6 +378,18 @@ func (c Config) NumInTier(tier int) int {
 	return n
 }
 
+// AggregateCapacity returns the machine's total nominal work-rate: the
+// sum of every core's tier capacity, in base-tier (little-core) work
+// units per nanosecond. Load generators use it to translate a target
+// utilisation into an arrival rate.
+func (c Config) AggregateCapacity() float64 {
+	var total float64
+	for i := range c.Kinds {
+		total += c.Tier(i).Capacity
+	}
+	return total
+}
+
 // NumBig returns the number of cores in the top (highest-capacity) tier.
 func (c Config) NumBig() int { return c.NumInTier(c.NumTiers() - 1) }
 

@@ -140,7 +140,10 @@ func (r *Runner) runCtx(ctx context.Context, cfg cpu.Config, kind string, w *tas
 // the machine to itself from time zero, which open-system turnarounds —
 // measured from each app's own arrival — are compared against.
 func specAlone(spec workload.Spec, appIdx int, seed uint64) (*task.Workload, error) {
-	w, err := spec.Build(seed)
+	// The closed build strips arrival shaping without touching program
+	// content (machine-dependent load generators like util need no
+	// capacity here), so the isolated app runs the mix's exact programs.
+	w, err := spec.Closed().Build(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +246,7 @@ func (r *Runner) specScore(ctx context.Context, spec workload.Spec, cfg cpu.Conf
 	orders := []bool{true, false} // big-first, little-first (§5.1)
 	for _, bigFirst := range orders {
 		variant := cfg.Ordered(bigFirst)
-		w, err := spec.Build(r.Seed)
+		w, err := spec.BuildFor(r.Seed, variant.AggregateCapacity())
 		if err != nil {
 			return metrics.MixScore{}, err
 		}

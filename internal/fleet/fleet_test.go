@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -366,5 +370,30 @@ func TestWireFloatRoundTrip(t *testing.T) {
 	}
 	if out.HANTT != in.HANTT || out.HSTP != in.HSTP {
 		t.Fatalf("floats not bit-identical after wire round trip: %v vs %v", out.Cell, in)
+	}
+}
+
+// A spec term that replays a local trace file has no wire form: the
+// worker rejects it before streaming, naming the offending term.
+func TestWorkerRejectsTraceFileSpecs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arrivals.trace")
+	if err := os.WriteFile(path, []byte("0\n5ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(nil)
+	wts := httptest.NewServer(w)
+	defer wts.Close()
+	body := fmt.Sprintf(`{"spec":{"workloads":["dedup:2*2@arrive=tracefile(%s)"],"machines":["2B2S"],"policies":["linux"],"seeds":[1]}}`, path)
+	resp, err := http.Post(wts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tracefile spec -> %s, want 400 (body %q)", resp.Status, reply)
+	}
+	if !strings.Contains(string(reply), "trace file") || !strings.Contains(string(reply), "dedup") {
+		t.Errorf("rejection does not name the trace-file term: %q", reply)
 	}
 }

@@ -62,6 +62,9 @@ func (s Spec) resolve() (specs []workload.Spec, cfgs []cpu.Config, err error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("fleet: %w", err)
 		}
+		if terms := spec.TraceFiles(); len(terms) != 0 {
+			return nil, nil, fmt.Errorf("fleet: workload %q replays the local trace file of term %q — trace files do not travel the wire, inline the times with @arrive=trace(...)", w, terms[0])
+		}
 		specs = append(specs, spec)
 	}
 	for _, name := range s.Machines {

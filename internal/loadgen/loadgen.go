@@ -1,0 +1,342 @@
+// Package loadgen is the workload-generation subsystem behind the
+// scenario grammar's open-system features: simulated-duration syntax,
+// file-trace replay (arrive=tracefile) and the global load-generator
+// transformers (@load=) that modulate a scenario's arrival processes —
+// open-loop target utilisation, closed-loop think time, and diurnal or
+// bursty time-varying rate envelopes over any base arrival process.
+//
+// The package is deliberately low-level and deterministic: everything in
+// it is a pure function of its inputs (no clocks, no global RNG), so the
+// arrival streams it shapes are byte-identical across runs, worker counts
+// and hosts. internal/workload owns the grammar syntax and applies these
+// transformers at build time.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"colab/internal/sim"
+)
+
+// Kind enumerates the load-generator transformers of the scenario
+// grammar's @load= clause.
+type Kind string
+
+// The load-generator kinds.
+const (
+	// None is the zero value: arrival processes pass through unchanged.
+	None Kind = ""
+	// Util is the open-loop target-utilisation generator: it replaces the
+	// scenario's arrival processes with one Poisson stream whose rate is
+	// derived from the target machine's aggregate capacity, so the offered
+	// load is Target of what the machine can absorb.
+	Util Kind = "util"
+	// Closed is the closed-loop think-time generator: the k-th admitted
+	// app prepends k*Think of task.Sleep to each of its threads, modelling
+	// a fixed population trickling in after think pauses. The system stays
+	// closed (every app admitted at time zero).
+	Closed Kind = "closed"
+	// Diurnal warps arrival times through a smooth day-night rate
+	// envelope: sinusoidal, period Period, peak-to-trough ratio Factor,
+	// unit mean (the long-run average rate of the base process is kept).
+	Diurnal Kind = "diurnal"
+	// Burst warps arrival times through a square-wave envelope: each
+	// Period spends fraction Duty at Factor times the off-burst rate,
+	// unit mean.
+	Burst Kind = "burst"
+)
+
+// Load is one parsed @load= clause: a transformer applied globally to a
+// scenario's arrival processes. The zero value is no transformer.
+type Load struct {
+	Kind Kind
+	// Target is the utilisation target in (0, 1] (Util).
+	Target float64
+	// Think is the per-position think time (Closed).
+	Think sim.Time
+	// Period is the envelope period (Diurnal, Burst).
+	Period sim.Time
+	// Factor is the peak-to-trough rate ratio (Diurnal, >= 1) or the
+	// in-burst rate multiplier (Burst, >= 1).
+	Factor float64
+	// Duty is the fraction of each period spent bursting (Burst, in
+	// (0, 1)).
+	Duty float64
+}
+
+// Validate checks the transformer's parameters.
+func (l Load) Validate() error {
+	switch l.Kind {
+	case None:
+		return nil
+	case Util:
+		if !(l.Target > 0 && l.Target <= 1) {
+			return fmt.Errorf("loadgen: util target %v out of range (0, 1]", l.Target)
+		}
+	case Closed:
+		if l.Think <= 0 {
+			return fmt.Errorf("loadgen: closed think time must be positive, got %v", l.Think)
+		}
+	case Diurnal:
+		if l.Period <= 0 {
+			return fmt.Errorf("loadgen: diurnal period must be positive, got %v", l.Period)
+		}
+		if l.Factor < 1 {
+			return fmt.Errorf("loadgen: diurnal peak ratio %v must be >= 1", l.Factor)
+		}
+	case Burst:
+		if l.Period <= 0 {
+			return fmt.Errorf("loadgen: burst period must be positive, got %v", l.Period)
+		}
+		if !(l.Duty > 0 && l.Duty < 1) {
+			return fmt.Errorf("loadgen: burst duty %v out of range (0, 1)", l.Duty)
+		}
+		if l.Factor < 1 {
+			return fmt.Errorf("loadgen: burst factor %v must be >= 1", l.Factor)
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown load generator %q", l.Kind)
+	}
+	return nil
+}
+
+// ShapesArrivals reports whether the transformer changes arrival times
+// (as opposed to thread programs): such transformers are stripped for the
+// closed-system baseline build, exactly like per-term arrival processes.
+func (l Load) ShapesArrivals() bool {
+	switch l.Kind {
+	case Util, Diurnal, Burst:
+		return true
+	}
+	return false
+}
+
+// Opens reports whether the transformer itself makes the scenario an open
+// system (apps arriving over time even when no term carries @arrive).
+func (l Load) Opens() bool { return l.Kind == Util }
+
+// String renders the transformer in grammar form (the form @load= accepts
+// and Spec.Canonical emits); the zero value renders empty.
+func (l Load) String() string {
+	switch l.Kind {
+	case None:
+		return ""
+	case Util:
+		return fmt.Sprintf("util(%s)", formatFloat(l.Target))
+	case Closed:
+		return fmt.Sprintf("closed(think=%s)", FormatDuration(l.Think))
+	case Diurnal:
+		return fmt.Sprintf("diurnal(%s,%s)", FormatDuration(l.Period), formatFloat(l.Factor))
+	default: // Burst
+		return fmt.Sprintf("burst(%s,%s,%s)", FormatDuration(l.Period), formatFloat(l.Duty), formatFloat(l.Factor))
+	}
+}
+
+// ParseLoad parses one @load= call already split into function name and
+// arguments (the grammar owns the call syntax).
+func ParseLoad(fn string, args []string) (Load, error) {
+	var l Load
+	switch Kind(fn) {
+	case Util:
+		if len(args) != 1 {
+			return Load{}, fmt.Errorf("util takes one target utilisation, got %d args", len(args))
+		}
+		v, err := parseFloat(args[0])
+		if err != nil {
+			return Load{}, err
+		}
+		l = Load{Kind: Util, Target: v}
+	case Closed:
+		if len(args) != 1 {
+			return Load{}, fmt.Errorf("closed takes (think=<duration>), got %d args", len(args))
+		}
+		key, value, ok := strings.Cut(args[0], "=")
+		if !ok || strings.TrimSpace(key) != "think" {
+			return Load{}, fmt.Errorf("closed takes (think=<duration>), got %q", args[0])
+		}
+		d, err := ParseDuration(value)
+		if err != nil {
+			return Load{}, err
+		}
+		l = Load{Kind: Closed, Think: d}
+	case Diurnal:
+		if len(args) != 2 {
+			return Load{}, fmt.Errorf("diurnal takes (period, peak), got %d args", len(args))
+		}
+		p, err := ParseDuration(args[0])
+		if err != nil {
+			return Load{}, err
+		}
+		k, err := parseFloat(args[1])
+		if err != nil {
+			return Load{}, err
+		}
+		l = Load{Kind: Diurnal, Period: p, Factor: k}
+	case Burst:
+		if len(args) != 3 {
+			return Load{}, fmt.Errorf("burst takes (period, duty, factor), got %d args", len(args))
+		}
+		p, err := ParseDuration(args[0])
+		if err != nil {
+			return Load{}, err
+		}
+		d, err := parseFloat(args[1])
+		if err != nil {
+			return Load{}, err
+		}
+		f, err := parseFloat(args[2])
+		if err != nil {
+			return Load{}, err
+		}
+		l = Load{Kind: Burst, Period: p, Duty: d, Factor: f}
+	default:
+		return Load{}, fmt.Errorf("unknown load generator %q (want util, closed, diurnal or burst)", fn)
+	}
+	if err := l.Validate(); err != nil {
+		return Load{}, err
+	}
+	return l, nil
+}
+
+// Warp maps one base arrival time through the transformer's rate
+// envelope: an arrival at cumulative unit-rate position u lands at the t
+// with E(t) = u, where E is the envelope's cumulative rate. Warp(0) = 0
+// (closed terms stay closed), Warp is strictly monotone, and because the
+// envelope has unit mean the long-run average rate is preserved —
+// arrivals bunch into the high-rate phases and stretch out of the low
+// ones. Only Diurnal and Burst warp; every other kind is the identity.
+func (l Load) Warp(u sim.Time) sim.Time {
+	if u <= 0 {
+		return u
+	}
+	switch l.Kind {
+	case Diurnal:
+		return sim.Time(math.Round(l.diurnalInverse(float64(u))))
+	case Burst:
+		return sim.Time(math.Round(l.burstInverse(float64(u))))
+	}
+	return u
+}
+
+// diurnalCumulative is E(t) for the unit-mean sinusoidal envelope
+// e(s) = c*(1 + (k-1)*sin^2(pi*s/P)), c = 2/(k+1).
+func (l Load) diurnalCumulative(t float64) float64 {
+	p, k := float64(l.Period), l.Factor
+	c := 2 / (k + 1)
+	return c * (t + (k-1)*(t/2-p/(4*math.Pi)*math.Sin(2*math.Pi*t/p)))
+}
+
+// diurnalInverse solves E(t) = u by bisection; E's slope is bounded in
+// [c, c*k], which brackets the root, and the fixed iteration count keeps
+// the result deterministic everywhere.
+func (l Load) diurnalInverse(u float64) float64 {
+	k := l.Factor
+	c := 2 / (k + 1)
+	lo, hi := u/(c*k), u/c
+	for i := 0; i < 64 && hi-lo > 1e-6; i++ {
+		mid := lo + (hi-lo)/2
+		if l.diurnalCumulative(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// burstInverse inverts the square-wave envelope analytically: base rate
+// b = 1/(duty*factor + 1 - duty), in-burst rate b*factor, per-period
+// cumulative gain exactly Period.
+func (l Load) burstInverse(u float64) float64 {
+	p, d, f := float64(l.Period), l.Duty, l.Factor
+	b := 1 / (d*f + 1 - d)
+	n := math.Floor(u / p)
+	r := u - n*p // residual cumulative inside the period, in [0, P)
+	burstGain := b * f * d * p
+	var x float64
+	if r <= burstGain {
+		x = r / (b * f)
+	} else {
+		x = d*p + (r-burstGain)/b
+	}
+	return n*p + x
+}
+
+// UtilGap derives the mean inter-arrival gap (in simulated nanoseconds)
+// of the util(target) Poisson stream: an app of meanWork work units
+// arriving every gap nanoseconds offers meanWork/gap work per nanosecond
+// to a machine absorbing capacity work units per nanosecond, so the gap
+// that hits the target utilisation is meanWork/(target*capacity).
+func UtilGap(meanWork, capacity, target float64) (float64, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("loadgen: util needs the target machine's aggregate capacity (got %v)", capacity)
+	}
+	if meanWork <= 0 {
+		return 0, fmt.Errorf("loadgen: util needs positive mean app work (got %v)", meanWork)
+	}
+	if !(target > 0 && target <= 1) {
+		return 0, fmt.Errorf("loadgen: util target %v out of range (0, 1]", target)
+	}
+	return meanWork / (target * capacity), nil
+}
+
+// parseFloat parses a finite positive-or-zero float argument.
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// formatFloat renders a float in shortest round-tripping form, so
+// canonical load clauses are stable fixed points of parse-then-render.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseDuration parses a simulated duration: a non-negative number with
+// an optional unit suffix — ns (the default when omitted), us, ms, s.
+func ParseDuration(s string) (sim.Time, error) {
+	s = strings.TrimSpace(s)
+	unit := float64(1)
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		s, unit = s[:len(s)-2], float64(sim.Microsecond)
+	case strings.HasSuffix(s, "µs"):
+		s, unit = strings.TrimSuffix(s, "µs"), float64(sim.Microsecond)
+	case strings.HasSuffix(s, "ms"):
+		s, unit = s[:len(s)-2], float64(sim.Millisecond)
+	case strings.HasSuffix(s, "s"):
+		s, unit = s[:len(s)-1], float64(sim.Second)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	ns := v * unit
+	if ns > math.MaxInt64/4 {
+		return 0, fmt.Errorf("duration %q too large", s)
+	}
+	return sim.Time(ns), nil
+}
+
+// FormatDuration renders a duration in the largest exact unit.
+func FormatDuration(t sim.Time) string {
+	switch {
+	case t != 0 && t%sim.Second == 0:
+		return fmt.Sprintf("%ds", t/sim.Second)
+	case t != 0 && t%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", t/sim.Millisecond)
+	case t != 0 && t%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", t/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", t)
+	}
+}

@@ -1,0 +1,183 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"colab/internal/sim"
+)
+
+func TestParseLoadForms(t *testing.T) {
+	cases := []struct {
+		fn   string
+		args []string
+		want string
+	}{
+		{"util", []string{"0.7"}, "util(0.7)"},
+		{"util", []string{"1"}, "util(1)"},
+		{"closed", []string{"think=5ms"}, "closed(think=5ms)"},
+		{"closed", []string{"think=1500us"}, "closed(think=1500us)"},
+		{"diurnal", []string{"30ms", "3"}, "diurnal(30ms,3)"},
+		{"diurnal", []string{"1s", "1.5"}, "diurnal(1s,1.5)"},
+		{"burst", []string{"16ms", "0.25", "4"}, "burst(16ms,0.25,4)"},
+	}
+	for _, c := range cases {
+		l, err := ParseLoad(c.fn, c.args)
+		if err != nil {
+			t.Fatalf("ParseLoad(%s, %v): %v", c.fn, c.args, err)
+		}
+		if got := l.String(); got != c.want {
+			t.Errorf("ParseLoad(%s, %v).String() = %q, want %q", c.fn, c.args, got, c.want)
+		}
+	}
+}
+
+func TestParseLoadErrors(t *testing.T) {
+	cases := []struct {
+		fn      string
+		args    []string
+		wantSub string
+	}{
+		{"util", []string{"0"}, "out of range"},
+		{"util", []string{"1.2"}, "out of range"},
+		{"util", []string{"x"}, "bad number"},
+		{"util", []string{"0.5", "0.6"}, "one target"},
+		{"closed", []string{"5ms"}, "think="},
+		{"closed", []string{"think=0"}, "positive"},
+		{"diurnal", []string{"30ms"}, "period, peak"},
+		{"diurnal", []string{"0", "3"}, "positive"},
+		{"diurnal", []string{"30ms", "0.5"}, ">= 1"},
+		{"burst", []string{"16ms", "4"}, "period, duty, factor"},
+		{"burst", []string{"16ms", "1.5", "4"}, "out of range"},
+		{"burst", []string{"16ms", "0.25", "0.5"}, ">= 1"},
+		{"trickle", []string{"1"}, "unknown load generator"},
+	}
+	for _, c := range cases {
+		if _, err := ParseLoad(c.fn, c.args); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseLoad(%s, %v) error = %v, want substring %q", c.fn, c.args, err, c.wantSub)
+		}
+	}
+}
+
+// TestWarpInvertsCumulative checks E(Warp(u)) == u for both envelopes:
+// the warped stream realises exactly the envelope's cumulative rate.
+func TestWarpInvertsCumulative(t *testing.T) {
+	diurnal := Load{Kind: Diurnal, Period: 30 * sim.Millisecond, Factor: 3}
+	burst := Load{Kind: Burst, Period: 16 * sim.Millisecond, Duty: 0.25, Factor: 4}
+	for _, u := range []sim.Time{0, 1, 977, sim.Millisecond, 7 * sim.Millisecond, 42 * sim.Millisecond, 313 * sim.Millisecond} {
+		tw := diurnal.Warp(u)
+		if back := diurnal.diurnalCumulative(float64(tw)); math.Abs(back-float64(u)) > 1 {
+			t.Errorf("diurnal: E(Warp(%d)) = %.3f, want %d", u, back, u)
+		}
+		// Re-derive the burst cumulative directly.
+		tw = burst.Warp(u)
+		p, d, f := float64(burst.Period), burst.Duty, burst.Factor
+		b := 1 / (d*f + 1 - d)
+		n := math.Floor(float64(tw) / p)
+		x := float64(tw) - n*p
+		var e float64
+		if x <= d*p {
+			e = b * f * x
+		} else {
+			e = b*f*d*p + b*(x-d*p)
+		}
+		if back := n*p + e; math.Abs(back-float64(u)) > 1 {
+			t.Errorf("burst: E(Warp(%d)) = %.3f, want %d", u, back, u)
+		}
+	}
+}
+
+func TestWarpProperties(t *testing.T) {
+	for _, l := range []Load{
+		{Kind: Diurnal, Period: 10 * sim.Millisecond, Factor: 5},
+		{Kind: Burst, Period: 10 * sim.Millisecond, Duty: 0.1, Factor: 8},
+	} {
+		if got := l.Warp(0); got != 0 {
+			t.Errorf("%s: Warp(0) = %d, want 0 (closed terms must stay closed)", l.Kind, got)
+		}
+		prev := sim.Time(-1)
+		for u := sim.Time(0); u <= 100*sim.Millisecond; u += 199 * sim.Microsecond {
+			w := l.Warp(u)
+			if w < prev {
+				t.Fatalf("%s: Warp not monotone at u=%d (%d < %d)", l.Kind, u, w, prev)
+			}
+			prev = w
+		}
+		// Unit mean: over whole periods the warp is (nearly) the identity.
+		u := 10 * l.Period
+		if w := l.Warp(u); math.Abs(float64(w-u)) > 2 {
+			t.Errorf("%s: Warp(%d) = %d, want ~%d (unit-mean envelope over whole periods)", l.Kind, u, w, u)
+		}
+	}
+	// Identity kinds.
+	for _, l := range []Load{{}, {Kind: Util, Target: 0.5}, {Kind: Closed, Think: sim.Millisecond}} {
+		if got := l.Warp(12345); got != 12345 {
+			t.Errorf("%v: Warp(12345) = %d, want identity", l.Kind, got)
+		}
+	}
+}
+
+func TestWarpDeterministic(t *testing.T) {
+	l := Load{Kind: Diurnal, Period: 30 * sim.Millisecond, Factor: 3}
+	for _, u := range []sim.Time{1, 500, 123456789} {
+		if a, b := l.Warp(u), l.Warp(u); a != b {
+			t.Fatalf("Warp(%d) varied: %d vs %d", u, a, b)
+		}
+	}
+}
+
+func TestUtilGap(t *testing.T) {
+	gap, err := UtilGap(2e6, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2e6 work units per arrival / (0.5 * 4 work units per ns) = 1e6 ns.
+	if math.Abs(gap-1e6) > 1e-9 {
+		t.Errorf("UtilGap = %v, want 1e6", gap)
+	}
+	for _, c := range []struct{ work, cap, target float64 }{
+		{0, 4, 0.5}, {2e6, 0, 0.5}, {2e6, 4, 0}, {2e6, 4, 1.5},
+	} {
+		if _, err := UtilGap(c.work, c.cap, c.target); err == nil {
+			t.Errorf("UtilGap(%v, %v, %v): want error", c.work, c.cap, c.target)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	for _, s := range []string{"0ns", "977ns", "5us", "5ms", "2s", "1500us"} {
+		d, err := ParseDuration(s)
+		if err != nil {
+			t.Fatalf("ParseDuration(%q): %v", s, err)
+		}
+		if got := FormatDuration(d); got != s {
+			t.Errorf("FormatDuration(ParseDuration(%q)) = %q", s, got)
+		}
+	}
+	for _, s := range []string{"", "x", "-5ms", "NaN", "1e300s"} {
+		if _, err := ParseDuration(s); err == nil {
+			t.Errorf("ParseDuration(%q): want error", s)
+		}
+	}
+}
+
+func TestValidateZero(t *testing.T) {
+	if err := (Load{}).Validate(); err != nil {
+		t.Fatalf("zero Load must validate: %v", err)
+	}
+	if (Load{}).ShapesArrivals() || (Load{}).Opens() {
+		t.Fatal("zero Load must not shape arrivals or open the system")
+	}
+	if !(Load{Kind: Util, Target: 0.5}).Opens() {
+		t.Fatal("util must open the system")
+	}
+	for _, k := range []Kind{Util, Diurnal, Burst} {
+		if !(Load{Kind: k}).ShapesArrivals() {
+			t.Errorf("%s must shape arrivals", k)
+		}
+	}
+	if (Load{Kind: Closed, Think: 1}).ShapesArrivals() {
+		t.Error("closed shapes programs, not arrivals")
+	}
+}

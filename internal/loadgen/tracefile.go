@@ -1,0 +1,80 @@
+package loadgen
+
+// File-trace replay: arrive=tracefile(path) reads an arrival-time trace
+// from disk. The file format (docs/TRACE_FORMAT.md, "Arrival trace
+// files") is one simulated duration per line — number plus optional
+// ns/us/ms/s suffix — with blank lines and #-comments ignored. The k-th
+// time admits the k-th app of the term, so the entry count must match the
+// term's app count, exactly like the inline trace(...) process.
+//
+// Because the spec's canonical form must identify cell content (CellKey,
+// checkpoint journals, the serve cache), the canonical rendering of a
+// tracefile arrival embeds a digest of the file's bytes: equal paths with
+// different content never collide, and a file that changes between parse
+// and re-parse is detected rather than silently re-keyed.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+
+	"colab/internal/sim"
+)
+
+const (
+	// MaxTraceFileBytes bounds the accepted trace-file size; far above any
+	// real per-term arrival trace (the grammar caps terms at 1024 apps)
+	// while keeping fuzzed or accidental paths cheap to reject.
+	MaxTraceFileBytes = 1 << 20
+	// MaxTraceFileTimes bounds the entry count, matching the grammar's
+	// replication cap.
+	MaxTraceFileTimes = 4096
+)
+
+// TraceDigest returns the content digest embedded in canonical tracefile
+// renderings: the first 16 hex digits of the SHA-256 of the file bytes.
+func TraceDigest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// ReadTraceFile loads an arrival trace, returning the times and the
+// content digest. Only regular files within the size cap are read (so
+// grammar strings can never block on FIFOs or drain device files), every
+// line must parse as a non-negative duration, and at least one time is
+// required.
+func ReadTraceFile(path string) (times []sim.Time, digest string, err error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("loadgen: trace file %s: %w", path, err)
+	}
+	if !info.Mode().IsRegular() {
+		return nil, "", fmt.Errorf("loadgen: trace file %s is not a regular file", path)
+	}
+	if info.Size() > MaxTraceFileBytes {
+		return nil, "", fmt.Errorf("loadgen: trace file %s is %d bytes (cap %d)", path, info.Size(), MaxTraceFileBytes)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("loadgen: trace file %s: %w", path, err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := ParseDuration(line)
+		if err != nil {
+			return nil, "", fmt.Errorf("loadgen: trace file %s line %d: %v", path, i+1, err)
+		}
+		times = append(times, d)
+		if len(times) > MaxTraceFileTimes {
+			return nil, "", fmt.Errorf("loadgen: trace file %s has more than %d times", path, MaxTraceFileTimes)
+		}
+	}
+	if len(times) == 0 {
+		return nil, "", fmt.Errorf("loadgen: trace file %s has no arrival times", path)
+	}
+	return times, TraceDigest(data), nil
+}

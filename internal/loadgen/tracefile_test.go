@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"colab/internal/sim"
+)
+
+func writeTrace(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "arrivals.trace")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadTraceFile(t *testing.T) {
+	path := writeTrace(t, "# warm-up burst\n0\n10ms\n\n25ms\n1500us\n")
+	times, digest, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{0, 10 * sim.Millisecond, 25 * sim.Millisecond, 1500 * sim.Microsecond}
+	if len(times) != len(want) {
+		t.Fatalf("got %d times, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %d, want %d", i, times[i], want[i])
+		}
+	}
+	if len(digest) != 16 {
+		t.Errorf("digest %q: want 16 hex digits", digest)
+	}
+	_, digest2, err := ReadTraceFile(path)
+	if err != nil || digest2 != digest {
+		t.Errorf("digest not stable: %q vs %q (err %v)", digest, digest2, err)
+	}
+	if d := TraceDigest([]byte("other")); d == digest {
+		t.Error("different content produced the same digest")
+	}
+}
+
+func TestReadTraceFileErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		path    string
+		wantSub string
+	}{
+		{"missing", filepath.Join(t.TempDir(), "nope"), "no such file"},
+		{"directory", t.TempDir(), "not a regular file"},
+		{"empty", writeTrace(t, "# only comments\n"), "no arrival times"},
+		{"badline", writeTrace(t, "10ms\nbogus\n"), "line 2"},
+		{"negative", writeTrace(t, "-5ms\n"), "bad duration"},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadTraceFile(c.path); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestReadTraceFileCaps(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= MaxTraceFileTimes; i++ {
+		sb.WriteString("1ms\n")
+	}
+	if _, _, err := ReadTraceFile(writeTrace(t, sb.String())); err == nil || !strings.Contains(err.Error(), "more than") {
+		t.Errorf("entry cap: error = %v", err)
+	}
+	big := strings.Repeat("#"+strings.Repeat("x", 1023)+"\n", 1+MaxTraceFileBytes/1024)
+	if _, _, err := ReadTraceFile(writeTrace(t, big)); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("size cap: error = %v", err)
+	}
+}

@@ -7,6 +7,8 @@ package workload
 //	term  := name [":" threads] ["*" copies] modifier*
 //	mod   := "@seed=" uint64
 //	       | "@arrive=" arrival
+//	       | "@load=" loadgen          (global: at most once per spec)
+//	       | "@class=" label           (global: at most once per spec)
 //
 // name resolves against the scenario registry first (Table 4 indices and
 // user scenarios), then the benchmark registry ("ferret:4"); a benchmark
@@ -20,6 +22,19 @@ package workload
 //	         | "poisson(" mean ")"       cumulative exponential gaps
 //	         | "trace(" d ["," d]* ")"   replayed times, k-th app at d_k
 //	                                     (count must match the app count)
+//	         | "tracefile(" path ["," "sha256=" hex] ")"
+//	                                     times replayed from a trace file
+//	                                     (docs/TRACE_FORMAT.md); canonical
+//	                                     form pins the content digest
+//
+// Load generators (@load=) and the class label (@class=) are spec-global:
+// they may be written on any term but apply to the whole scenario, and
+// the canonical form renders them once, at the end:
+//
+//	loadgen := "util(" target ")"            open-loop target utilisation
+//	         | "closed(think=" duration ")"  closed-loop think time
+//	         | "diurnal(" period "," peak ")"     sinusoidal rate envelope
+//	         | "burst(" period "," duty "," factor ")"  square-wave envelope
 //
 // Durations are a number with an optional unit suffix: ns (default), us,
 // ms, s. Examples:
@@ -28,13 +43,16 @@ package workload
 //	"Sync-2@seed=7"
 //	"ferret:2*8@arrive=poisson(5ms)+blackscholes:4"
 //	"dedup:4*3@arrive=trace(0,10ms,25ms)"
+//	"dedup:4*3@arrive=tracefile(testdata/day.trace)"
+//	"ferret:2*8@arrive=poisson(5ms)@load=diurnal(40ms,3)@class=interactive"
+//	"fft:2*4@load=util(0.6)@class=batch"
 
 import (
 	"fmt"
-	"math"
 	"strconv"
 	"strings"
 
+	"colab/internal/loadgen"
 	"colab/internal/sim"
 )
 
@@ -61,38 +79,65 @@ func ParseSpec(input string) (Spec, error) {
 	}
 	var spec Spec
 	for _, part := range parts {
-		terms, err := parseTerm(part)
+		p, err := parseTerm(part)
 		if err != nil {
 			return Spec{}, fmt.Errorf("workload: spec %q: %w", input, err)
 		}
-		spec.Terms = append(spec.Terms, terms...)
+		spec.Terms = append(spec.Terms, p.terms...)
+		if p.load.Kind != loadgen.None {
+			if spec.Load.Kind != loadgen.None {
+				return Spec{}, fmt.Errorf("workload: spec %q sets @load twice (@load is spec-global)", input)
+			}
+			spec.Load = p.load
+		}
+		if p.class != "" {
+			if spec.Class != "" {
+				return Spec{}, fmt.Errorf("workload: spec %q sets @class twice (@class is spec-global)", input)
+			}
+			spec.Class = p.class
+		}
+	}
+	if err := spec.CheckLoad(); err != nil {
+		return Spec{}, fmt.Errorf("workload: spec %q: %w", input, err)
 	}
 	spec.Name = spec.Canonical()
 	return spec, nil
 }
 
+// parsedTerm is one parsed "+"-separated part: its terms plus any
+// spec-global clauses (@load=, @class=) written on it — or inherited from
+// a referenced scenario — for ParseSpec to hoist.
+type parsedTerm struct {
+	terms []Term
+	load  loadgen.Load
+	class Class
+}
+
 // parseTerm parses one "+"-separated part. A reference to a registered
-// scenario whose own terms are unmodified collapses into a single term
-// (rendered by its name); a reference to a scenario that carries its own
-// modifiers inlines that scenario's terms and accepts no outer modifiers.
-func parseTerm(part string) ([]Term, error) {
+// scenario whose own terms, load and class are unmodified collapses into
+// a single term (rendered by its name); a reference to a scenario that
+// carries its own modifiers inlines that scenario's terms — propagating
+// its load and class for ParseSpec to hoist — and accepts no outer
+// modifiers.
+func parseTerm(part string) (parsedTerm, error) {
+	var p parsedTerm
 	fields, err := splitTop(part, '@')
 	if err != nil {
-		return nil, err
+		return p, err
 	}
 	head := strings.TrimSpace(fields[0])
 	if head == "" {
-		return nil, fmt.Errorf("empty term %q", part)
+		return p, fmt.Errorf("empty term %q", part)
 	}
 	head, copiesStr, hasCopies := strings.Cut(head, "*")
 	copies := 1
 	if hasCopies {
 		v, err := strconv.Atoi(strings.TrimSpace(copiesStr))
 		if err != nil {
-			return nil, fmt.Errorf("bad replication count %q in %q", copiesStr, part)
+			return p, fmt.Errorf("bad replication count %q in %q", copiesStr, part)
 		}
 		if v < 1 || v > maxSpecCopies {
-			return nil, fmt.Errorf("replication count %d in %q out of range [1, %d]", v, part, maxSpecCopies)
+			return p, fmt.Errorf("replication count %d in %q out of range [1, %d]", v, part, maxSpecCopies)
 		}
 		copies = v
 	}
@@ -101,12 +146,12 @@ func parseTerm(part string) ([]Term, error) {
 	var term Term
 	if ref, ok := ScenarioByName(name); ok {
 		if hasThreads {
-			return nil, fmt.Errorf("scenario reference %q takes no thread count", name)
+			return p, fmt.Errorf("scenario reference %q takes no thread count", name)
 		}
 		if hasCopies {
-			return nil, fmt.Errorf("scenario reference %q takes no replication count", name)
+			return p, fmt.Errorf("scenario reference %q takes no replication count", name)
 		}
-		plain := true
+		plain := ref.Load.Kind == loadgen.None && ref.Class == ""
 		for _, t := range ref.Terms {
 			if t.modified() {
 				plain = false
@@ -114,9 +159,11 @@ func parseTerm(part string) ([]Term, error) {
 		}
 		if !plain {
 			if len(fields) > 1 {
-				return nil, fmt.Errorf("scenario %q carries its own modifiers and cannot be modified again", name)
+				return p, fmt.Errorf("scenario %q carries its own modifiers and cannot be modified again", name)
 			}
-			return append([]Term(nil), ref.Terms...), nil
+			p.terms = append([]Term(nil), ref.Terms...)
+			p.load, p.class = ref.Load, ref.Class
+			return p, nil
 		}
 		term.Source = name
 		for _, t := range ref.Terms {
@@ -127,10 +174,10 @@ func parseTerm(part string) ([]Term, error) {
 		if hasThreads {
 			v, err := strconv.Atoi(strings.TrimSpace(threadsStr))
 			if err != nil {
-				return nil, fmt.Errorf("bad thread count %q for benchmark %q", threadsStr, name)
+				return p, fmt.Errorf("bad thread count %q for benchmark %q", threadsStr, name)
 			}
 			if v < 1 || v > maxSpecThreads {
-				return nil, fmt.Errorf("thread count %d for benchmark %q out of range [1, %d]", v, name, maxSpecThreads)
+				return p, fmt.Errorf("thread count %d for benchmark %q out of range [1, %d]", v, name, maxSpecThreads)
 			}
 			n = v
 		}
@@ -138,38 +185,60 @@ func parseTerm(part string) ([]Term, error) {
 			term.Apps = append(term.Apps, AppSpec{Bench: name, Threads: n})
 		}
 	} else {
-		return nil, unknownNameError(name)
+		return p, unknownNameError(name)
 	}
 	for _, mod := range fields[1:] {
 		key, value, ok := strings.Cut(mod, "=")
 		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
 		if !ok || value == "" {
-			return nil, fmt.Errorf("bad modifier %q (want @key=value)", "@"+mod)
+			return p, fmt.Errorf("bad modifier %q (want @key=value)", "@"+mod)
 		}
 		switch key {
 		case "seed":
 			if term.HasSeed {
-				return nil, fmt.Errorf("term %q sets @seed twice", part)
+				return p, fmt.Errorf("term %q sets @seed twice", part)
 			}
 			v, err := strconv.ParseUint(value, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad seed %q", value)
+				return p, fmt.Errorf("bad seed %q", value)
 			}
 			term.Seed, term.HasSeed = v, true
 		case "arrive":
 			if term.Arrival.Kind != ArriveClosed {
-				return nil, fmt.Errorf("term %q sets @arrive twice", part)
+				return p, fmt.Errorf("term %q sets @arrive twice", part)
 			}
 			a, err := parseArrival(value)
 			if err != nil {
-				return nil, fmt.Errorf("bad arrival %q: %w", value, err)
+				return p, fmt.Errorf("bad arrival %q: %w", value, err)
 			}
 			term.Arrival = a
+		case "load":
+			if p.load.Kind != loadgen.None {
+				return p, fmt.Errorf("term %q sets @load twice", part)
+			}
+			fn, args, ok := splitCall(value)
+			if !ok {
+				return p, fmt.Errorf("bad load %q (want util(target), closed(think=d), diurnal(period,peak) or burst(period,duty,factor))", value)
+			}
+			l, err := loadgen.ParseLoad(fn, args)
+			if err != nil {
+				return p, fmt.Errorf("bad load %q: %w", value, err)
+			}
+			p.load = l
+		case "class":
+			if p.class != "" {
+				return p, fmt.Errorf("term %q sets @class twice", part)
+			}
+			if !validName(value) {
+				return p, fmt.Errorf("class label %q is not grammar-safe (want [A-Za-z0-9_-]+)", value)
+			}
+			p.class = Class(value)
 		default:
-			return nil, fmt.Errorf("unknown modifier %q (modifiers: seed, arrive)", key)
+			return p, fmt.Errorf("unknown modifier %q (modifiers: seed, arrive, load, class)", key)
 		}
 	}
-	return []Term{term}, nil
+	p.terms = []Term{term}
+	return p, nil
 }
 
 // parseArrival parses an arrival expression.
@@ -234,8 +303,32 @@ func parseArrival(s string) (Arrival, error) {
 			times[i] = d
 		}
 		return Arrival{Kind: ArriveTrace, Times: times}, nil
+	case "tracefile":
+		if len(args) != 1 && len(args) != 2 {
+			return Arrival{}, fmt.Errorf("tracefile takes (path) or (path, sha256=<digest>), got %d args", len(args))
+		}
+		path := args[0]
+		if path == "" || strings.ContainsAny(path, " \t@+*:|%()'\"") {
+			return Arrival{}, fmt.Errorf("trace file path %q contains grammar-reserved characters", path)
+		}
+		var want string
+		if len(args) == 2 {
+			key, value, ok := strings.Cut(args[1], "=")
+			if !ok || strings.TrimSpace(key) != "sha256" {
+				return Arrival{}, fmt.Errorf("tracefile's second argument must be sha256=<digest>, got %q", args[1])
+			}
+			want = strings.ToLower(strings.TrimSpace(value))
+		}
+		times, digest, err := loadgen.ReadTraceFile(path)
+		if err != nil {
+			return Arrival{}, err
+		}
+		if want != "" && want != digest {
+			return Arrival{}, fmt.Errorf("trace file %s has content digest %s, but the spec pins %s (the file changed since the spec was written)", path, digest, want)
+		}
+		return Arrival{Kind: ArriveTraceFile, Times: times, Path: path, Digest: digest}, nil
 	default:
-		return Arrival{}, fmt.Errorf("unknown arrival process %q (want a duration, fixed, uniform, poisson or trace)", fn)
+		return Arrival{}, fmt.Errorf("unknown arrival process %q (want a duration, fixed, uniform, poisson, trace or tracefile)", fn)
 	}
 }
 
@@ -287,49 +380,12 @@ func splitTop(s string, sep byte) ([]string, error) {
 }
 
 // parseDur parses a simulated duration: a non-negative number with an
-// optional unit suffix (ns when omitted).
-func parseDur(s string) (sim.Time, error) {
-	s = strings.TrimSpace(s)
-	unit := float64(1)
-	switch {
-	case strings.HasSuffix(s, "ns"):
-		s = s[:len(s)-2]
-	case strings.HasSuffix(s, "us"):
-		s, unit = s[:len(s)-2], float64(sim.Microsecond)
-	case strings.HasSuffix(s, "µs"):
-		s, unit = strings.TrimSuffix(s, "µs"), float64(sim.Microsecond)
-	case strings.HasSuffix(s, "ms"):
-		s, unit = s[:len(s)-2], float64(sim.Millisecond)
-	case strings.HasSuffix(s, "s"):
-		s, unit = s[:len(s)-1], float64(sim.Second)
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad duration %q", s)
-	}
-	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-		return 0, fmt.Errorf("bad duration %q", s)
-	}
-	ns := v * unit
-	if ns > math.MaxInt64/4 {
-		return 0, fmt.Errorf("duration %q too large", s)
-	}
-	return sim.Time(ns), nil
-}
+// optional unit suffix (ns when omitted). The syntax is owned by
+// internal/loadgen, shared with load generators and trace files.
+func parseDur(s string) (sim.Time, error) { return loadgen.ParseDuration(s) }
 
 // formatDur renders a duration in the largest exact unit.
-func formatDur(t sim.Time) string {
-	switch {
-	case t != 0 && t%sim.Second == 0:
-		return fmt.Sprintf("%ds", t/sim.Second)
-	case t != 0 && t%sim.Millisecond == 0:
-		return fmt.Sprintf("%dms", t/sim.Millisecond)
-	case t != 0 && t%sim.Microsecond == 0:
-		return fmt.Sprintf("%dus", t/sim.Microsecond)
-	default:
-		return fmt.Sprintf("%dns", t)
-	}
-}
+func formatDur(t sim.Time) string { return loadgen.FormatDuration(t) }
 
 // String renders the arrival expression in grammar form.
 func (a Arrival) String() string {
@@ -348,55 +404,90 @@ func (a Arrival) String() string {
 			parts[i] = formatDur(t)
 		}
 		return fmt.Sprintf("trace(%s)", strings.Join(parts, ","))
+	case ArriveTraceFile:
+		// The digest is part of the canonical form: cell identity tracks
+		// the file's content, and re-parsing verifies it.
+		return fmt.Sprintf("tracefile(%s,sha256=%s)", a.Path, a.Digest)
 	default:
 		return string(a.Kind)
 	}
 }
 
-// Canonical renders the spec in normalised grammar form: parsing the
-// result yields an equal spec, and equal specs render identically.
-func (s Spec) Canonical() string {
-	var parts []string
-	for _, t := range s.Terms {
-		var sb strings.Builder
-		appStr := func(a AppSpec) string {
-			if a.Threads <= 0 {
-				return a.Bench
-			}
-			return fmt.Sprintf("%s:%d", a.Bench, a.Threads)
+// canonical renders one term in normalised grammar form.
+func (t Term) canonical() string {
+	var sb strings.Builder
+	appStr := func(a AppSpec) string {
+		if a.Threads <= 0 {
+			return a.Bench
 		}
-		uniform := len(t.Apps) > 1
-		for _, a := range t.Apps {
-			if a != t.Apps[0] {
-				uniform = false
-			}
-		}
-		switch {
-		case t.Source != "":
-			sb.WriteString(t.Source)
-		case len(t.Apps) == 1:
-			sb.WriteString(appStr(t.Apps[0]))
-		case uniform:
-			// Replicated benchmark instance ("*copies").
-			fmt.Fprintf(&sb, "%s*%d", appStr(t.Apps[0]), len(t.Apps))
-		default:
-			// Unreachable from the grammar (anonymous mixed-app terms can
-			// only be built programmatically): render the app list.
-			var names []string
-			for _, a := range t.Apps {
-				names = append(names, appStr(a))
-			}
-			sb.WriteString(strings.Join(names, "+"))
-		}
-		if t.HasSeed {
-			fmt.Fprintf(&sb, "@seed=%d", t.Seed)
-		}
-		if t.Arrival.Kind != ArriveClosed {
-			fmt.Fprintf(&sb, "@arrive=%s", t.Arrival)
-		}
-		parts = append(parts, sb.String())
+		return fmt.Sprintf("%s:%d", a.Bench, a.Threads)
 	}
-	return strings.Join(parts, "+")
+	uniform := len(t.Apps) > 1
+	for _, a := range t.Apps {
+		if a != t.Apps[0] {
+			uniform = false
+		}
+	}
+	switch {
+	case t.Source != "":
+		sb.WriteString(t.Source)
+	case len(t.Apps) == 1:
+		sb.WriteString(appStr(t.Apps[0]))
+	case uniform:
+		// Replicated benchmark instance ("*copies").
+		fmt.Fprintf(&sb, "%s*%d", appStr(t.Apps[0]), len(t.Apps))
+	default:
+		// Unreachable from the grammar (anonymous mixed-app terms can
+		// only be built programmatically): render the app list.
+		var names []string
+		for _, a := range t.Apps {
+			names = append(names, appStr(a))
+		}
+		sb.WriteString(strings.Join(names, "+"))
+	}
+	if t.HasSeed {
+		fmt.Fprintf(&sb, "@seed=%d", t.Seed)
+	}
+	if t.Arrival.Kind != ArriveClosed {
+		fmt.Fprintf(&sb, "@arrive=%s", t.Arrival)
+	}
+	return sb.String()
+}
+
+// Canonical renders the spec in normalised grammar form: parsing the
+// result yields an equal spec, and equal specs render identically. The
+// spec-global clauses (@load=, @class=) render once, after the last term,
+// regardless of which term they were written on.
+func (s Spec) Canonical() string {
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		parts[i] = t.canonical()
+	}
+	out := strings.Join(parts, "+")
+	if s.Load.Kind != loadgen.None {
+		out += "@load=" + s.Load.String()
+	}
+	if s.Class != "" {
+		out += "@class=" + string(s.Class)
+	}
+	return out
+}
+
+// CheckLoad validates the spec's load generator against its terms: the
+// generators that produce or forbid arrival streams themselves (util,
+// closed) require every term to be closed.
+func (s Spec) CheckLoad() error {
+	if err := s.Load.Validate(); err != nil {
+		return err
+	}
+	if s.Load.Kind == loadgen.Util || s.Load.Kind == loadgen.Closed {
+		for _, t := range s.Terms {
+			if t.Arrival.Kind != ArriveClosed {
+				return fmt.Errorf("load=%s needs closed terms, but term %q sets @arrive=%s", s.Load.Kind, t.canonical(), t.Arrival)
+			}
+		}
+	}
+	return nil
 }
 
 // String implements fmt.Stringer as the canonical grammar form.

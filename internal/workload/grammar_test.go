@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -33,6 +36,19 @@ func TestParseSpecForms(t *testing.T) {
 		{"radix:2@arrive=1500us", "radix:2@arrive=1500us", 1},
 		{"radix:2@arrive=1.5ms", "radix:2@arrive=1500us", 1},
 		{"radix:2@arrive=2s", "radix:2@arrive=2s", 1},
+		// Load generators and class labels are spec-global: written on any
+		// term, rendered once at the end.
+		{"ferret:4@load=util(0.7)", "ferret:4@load=util(0.7)", 1},
+		{"ferret:4@load=util(0.7)+radix:2", "ferret:4+radix:2@load=util(0.7)", 2},
+		{"ferret:4+radix:2@load=closed(think=5ms)", "ferret:4+radix:2@load=closed(think=5ms)", 2},
+		{"ferret:2*4@arrive=poisson(5ms)@load=diurnal(40ms,3)", "ferret:2*4@arrive=poisson(5ms)@load=diurnal(40ms,3)", 4},
+		{"ferret:2*4@arrive=poisson(5ms)@load=burst(16ms,0.25,4)@class=interactive",
+			"ferret:2*4@arrive=poisson(5ms)@load=burst(16ms,0.25,4)@class=interactive", 4},
+		{"ferret:4@class=web", "ferret:4@class=web", 1},
+		{"ferret:4@class=web+radix:2", "ferret:4+radix:2@class=web", 2},
+		// A registered scenario carrying its own load/class inlines with
+		// both propagated (collapsing to the name would re-modify it).
+		{"interactive-burst", "dedup:2*4@seed=202@arrive=poisson(3ms)@load=burst(16ms,0.25,4)@class=interactive", 4},
 	}
 	for _, c := range cases {
 		spec, err := ParseSpec(c.in)
@@ -88,6 +104,19 @@ func TestParseSpecErrors(t *testing.T) {
 		{"ferret:4@arrive=uniform(1ms", "unbalanced"},
 		{"ferret:4@arrive=1ms)", "unbalanced"},
 		{"+ferret:4", "empty term"},
+		{"ferret:4@load=util(0.7)@load=util(0.8)", "twice"},
+		{"ferret:4@load=util(0.7)+radix:2@load=util(0.8)", "twice"},
+		{"ferret:4@class=a+radix:2@class=b", "twice"},
+		{"ferret:4@load=bogus", "bad load"},
+		{"ferret:4@load=util(2)", "out of range"},
+		{"ferret:4@load=closed(5ms)", "think="},
+		{"ferret:4@class=bad~label", "grammar-safe"},
+		{"ferret:4@arrive=poisson(5ms)@load=util(0.5)", "closed terms"},
+		{"ferret:4@arrive=poisson(5ms)+radix:2@load=closed(think=1ms)", "closed terms"},
+		{"interactive-burst@seed=1", "carries its own modifiers"},
+		{"ferret:4@arrive=tracefile()", "tracefile takes"},
+		{"ferret:4@arrive=tracefile(/no/such/file)", "no such file"},
+		{"ferret:4@arrive=tracefile(bad path)", "grammar-reserved"},
 	}
 	for _, c := range cases {
 		_, err := ParseSpec(c.in)
@@ -135,6 +164,65 @@ func TestDurationParsing(t *testing.T) {
 	}
 }
 
+// TestTracefileSpec exercises arrive=tracefile end to end: parse,
+// digest-pinned canonical form, round-trip, build, TraceFiles reporting,
+// and the changed-file rejection.
+func TestTracefileSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arrivals.trace")
+	if err := os.WriteFile(path, []byte("# recorded burst\n0\n10ms\n25ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(fmt.Sprintf("dedup:2*3@arrive=tracefile(%s)", path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := spec.Terms[0].Arrival.Digest
+	if len(digest) != 16 {
+		t.Fatalf("digest %q: want 16 hex digits", digest)
+	}
+	want := fmt.Sprintf("dedup:2*3@arrive=tracefile(%s,sha256=%s)", path, digest)
+	if got := spec.Canonical(); got != want {
+		t.Fatalf("canonical = %q, want %q", got, want)
+	}
+	if tf := spec.TraceFiles(); len(tf) != 1 || !strings.Contains(tf[0], path) {
+		t.Fatalf("TraceFiles() = %v, want the tracefile term", tf)
+	}
+	// The canonical form re-parses to itself while the file is unchanged.
+	again, err := ParseSpec(spec.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Canonical() != spec.Canonical() {
+		t.Fatalf("canonical not stable: %q -> %q", spec.Canonical(), again.Canonical())
+	}
+	// Builds replay the times in order, for any build seed.
+	w, err := spec.Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes := []sim.Time{0, 10 * sim.Millisecond, 25 * sim.Millisecond}
+	for i, app := range w.Apps {
+		if app.Arrival != wantTimes[i] {
+			t.Errorf("app %d arrival = %d, want %d", i, app.Arrival, wantTimes[i])
+		}
+	}
+	// A count mismatch fails the build, exactly like inline trace(...).
+	mismatch, err := ParseSpec(fmt.Sprintf("dedup:2*4@arrive=tracefile(%s)", path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mismatch.Build(1); err == nil || !strings.Contains(err.Error(), "3 times for 4 applications") {
+		t.Fatalf("count mismatch build error = %v", err)
+	}
+	// Changing the file invalidates the pinned canonical form.
+	if err := os.WriteFile(path, []byte("0\n10ms\n99ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec(spec.Canonical()); err == nil || !strings.Contains(err.Error(), "changed since") {
+		t.Fatalf("changed-file reparse error = %v", err)
+	}
+}
+
 // FuzzParseSpec fuzzes the scenario-grammar parser: it must never panic,
 // and any accepted input must have a stable canonical form (parse →
 // render → parse is a fixed point).
@@ -161,6 +249,18 @@ func FuzzParseSpec(f *testing.F) {
 		"ferret:4@arrive=uniform(1ms",
 		"@seed=1",
 		"ferret:4@@",
+		"ferret:4@arrive=tracefile(testdata/arrivals.trace)",
+		"ferret:4@arrive=tracefile(x,sha256=0123456789abcdef)",
+		"ferret:4@load=util(0.7)",
+		"ferret:4+radix:2@load=closed(think=5ms)",
+		"ferret:2*4@arrive=poisson(5ms)@load=diurnal(40ms,3)@class=interactive",
+		"ferret:2*4@arrive=poisson(5ms)@load=burst(16ms,0.25,4)",
+		"ferret:4@class=web",
+		"datacenter-day",
+		"interactive-burst",
+		"batch-backfill",
+		"ferret:4@load=util(2)",
+		"ferret:4@arrive=poisson(5ms)@load=util(0.5)",
 	} {
 		f.Add(s)
 	}

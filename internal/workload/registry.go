@@ -47,6 +47,12 @@ func ensureBuiltins() {
 			scenByName[c.Index] = c.Spec()
 			scenOrder = append(scenOrder, c.Index)
 		}
+		// The standard suite registers as spec literals (never through
+		// ParseSpec, which would re-enter this Once).
+		for _, s := range standardSuite() {
+			scenByName[s.Name] = s.Spec
+			scenOrder = append(scenOrder, s.Name)
+		}
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"colab/internal/loadgen"
 	"colab/internal/mathx"
 	"colab/internal/sim"
 	"colab/internal/task"
@@ -25,6 +26,11 @@ const buildSalt uint64 = 0xd1b54a32d192ed03
 // attaching an arrival process to a term never perturbs the generated
 // thread programs.
 const arrivalSalt uint64 = 0x5bf03635d1f2b4d1
+
+// loadSalt decorrelates the global load-generator stream (load=util's
+// Poisson arrivals) from both program generation and per-term arrival
+// draws.
+const loadSalt uint64 = 0x94d049bb133111eb
 
 // ArrivalKind enumerates the arrival processes of the scenario grammar.
 type ArrivalKind string
@@ -43,6 +49,12 @@ const (
 	// ArriveTrace replays explicit arrival times: the k-th app of the term
 	// arrives at Times[k].
 	ArriveTrace ArrivalKind = "trace"
+	// ArriveTraceFile replays arrival times read from a trace file at
+	// parse time (docs/TRACE_FORMAT.md): like ArriveTrace, the k-th app of
+	// the term arrives at Times[k]. Path and Digest record where the times
+	// came from; the digest travels in the canonical form so cell identity
+	// tracks the file's content, not just its name.
+	ArriveTraceFile ArrivalKind = "tracefile"
 )
 
 // Arrival describes when the apps of one scenario term enter the system.
@@ -57,8 +69,12 @@ type Arrival struct {
 	Lo, Hi sim.Time
 	// Mean is the mean inter-arrival gap (ArrivePoisson).
 	Mean sim.Time
-	// Times are the replayed arrival times (ArriveTrace).
+	// Times are the replayed arrival times (ArriveTrace, ArriveTraceFile).
 	Times []sim.Time
+	// Path is the trace file the times were read from (ArriveTraceFile).
+	Path string
+	// Digest is the content digest of the trace file (ArriveTraceFile).
+	Digest string
 }
 
 // times materialises n arrival offsets for one term.
@@ -94,7 +110,7 @@ func (a Arrival) times(n int, seed uint64, term int) ([]sim.Time, error) {
 			}
 			out[i] = sim.Time(cum)
 		}
-	case ArriveTrace:
+	case ArriveTrace, ArriveTraceFile:
 		// Strict: a count mismatch in either direction means the spec does
 		// not model what its author wrote (extra times silently dropped
 		// would turn an intended open stream into a closed no-op).
@@ -157,6 +173,13 @@ type Spec struct {
 	// registered name, a Table 4 index, or the canonical grammar string.
 	Name  string
 	Terms []Term
+	// Load is the scenario's global load-generator transformer (@load=),
+	// applied at build time to every term's arrival process. Zero value =
+	// none.
+	Load loadgen.Load
+	// Class is the scenario's declared workload class (@class=), the label
+	// experiment.ClassTable regroups by. Empty = unclassified.
+	Class Class
 }
 
 // NumApps returns the number of applications the spec instantiates.
@@ -168,23 +191,46 @@ func (s Spec) NumApps() int {
 	return n
 }
 
-// Open reports whether any term carries an arrival process.
+// Open reports whether the spec admits apps over time: any term carries
+// an arrival process, or the load generator itself produces one
+// (load=util).
 func (s Spec) Open() bool {
 	for _, t := range s.Terms {
 		if t.Arrival.Kind != ArriveClosed {
 			return true
 		}
 	}
-	return false
+	return s.Load.Opens()
 }
 
-// Closed returns a copy of the spec with every arrival process stripped:
-// the closed-system build used for baseline collection.
+// Closed returns a copy of the spec with every arrival-shaping element
+// stripped: per-term arrival processes and arrival-shaping load
+// generators (util, diurnal, burst) go, but a program-shaping load
+// (closed think time) stays, because the baseline must run the exact
+// thread programs the mix runs. This is the closed-system build used for
+// baseline collection and baseline-sharing shard groups.
 func (s Spec) Closed() Spec {
-	out := Spec{Name: s.Name, Terms: make([]Term, len(s.Terms))}
+	out := Spec{Name: s.Name, Terms: make([]Term, len(s.Terms)), Load: s.Load, Class: s.Class}
 	copy(out.Terms, s.Terms)
 	for i := range out.Terms {
 		out.Terms[i].Arrival = Arrival{}
+	}
+	if out.Load.ShapesArrivals() {
+		out.Load = loadgen.Load{}
+	}
+	return out
+}
+
+// TraceFiles returns the canonical rendering of every term whose arrival
+// replays a trace file. Non-empty means the spec depends on local file
+// content and cannot travel by grammar string alone — the fleet and serve
+// layers reject such specs, naming these terms.
+func (s Spec) TraceFiles() []string {
+	var out []string
+	for _, t := range s.Terms {
+		if t.Arrival.Kind == ArriveTraceFile {
+			out = append(out, t.canonical())
+		}
 	}
 	return out
 }
@@ -193,10 +239,21 @@ func (s Spec) Closed() Spec {
 // produces fresh threads; a workload cannot be re-run. Terms without a
 // seed override share one generation stream keyed by the build seed
 // (exactly Composition.Build's scheme); each distinct override seed opens
-// its own stream on first use.
-func (s Spec) Build(seed uint64) (*task.Workload, error) {
+// its own stream on first use. Specs whose load generator needs the
+// target machine (load=util) must use BuildFor.
+func (s Spec) Build(seed uint64) (*task.Workload, error) { return s.BuildFor(seed, 0) }
+
+// BuildFor is Build with the target machine's aggregate capacity (work
+// units per nanosecond with every core busy, cpu.Config.AggregateCapacity)
+// supplied, which the open-loop utilisation generator (load=util) needs
+// to derive its arrival rate. Every other spec ignores capacity, so
+// BuildFor(seed, c) == Build(seed) for them.
+func (s Spec) BuildFor(seed uint64, capacity float64) (*task.Workload, error) {
 	if len(s.Terms) == 0 {
 		return nil, fmt.Errorf("workload: scenario %q has no terms", s.Name)
+	}
+	if err := s.Load.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: scenario %s: %w", s.Name, err)
 	}
 	w := &task.Workload{Name: s.Name}
 	streams := make(map[uint64]*mathx.RNG)
@@ -245,7 +302,68 @@ func (s Spec) Build(seed uint64) (*task.Workload, error) {
 		}
 		w.Apps = append(w.Apps, apps...)
 	}
+	if err := s.applyLoad(w, seed, capacity); err != nil {
+		return nil, fmt.Errorf("workload: scenario %s: %w", s.Name, err)
+	}
 	return w, nil
+}
+
+// applyLoad applies the spec's global load-generator transformer to the
+// built workload. Program generation is untouched by every kind except
+// closed think time, whose task.Sleep prefixes are part of the programs
+// (and therefore of the closed baseline build too).
+func (s Spec) applyLoad(w *task.Workload, seed uint64, capacity float64) error {
+	switch s.Load.Kind {
+	case loadgen.None:
+		return nil
+	case loadgen.Util:
+		// One Poisson stream over all apps in admission order, rate set so
+		// the offered load is Target of the machine's absorption rate. The
+		// stream draws from a dedicated salt, so it perturbs neither
+		// program generation nor per-term arrival processes.
+		var total float64
+		for _, app := range w.Apps {
+			for _, th := range app.Threads {
+				total += th.Program.TotalWork()
+			}
+		}
+		gap, err := loadgen.UtilGap(total/float64(len(w.Apps)), capacity, s.Load.Target)
+		if err != nil {
+			if capacity <= 0 {
+				return fmt.Errorf("load=util needs the target machine's aggregate capacity: build with BuildFor (or colab.BuildWorkloadOn)")
+			}
+			return err
+		}
+		rng := mathx.NewRNG(seed ^ loadSalt)
+		var cum float64
+		for _, app := range w.Apps {
+			cum += rng.Exp(gap)
+			if cum > math.MaxInt64/2 {
+				return fmt.Errorf("load=util arrivals overflow simulated time")
+			}
+			app.Arrival = sim.Time(cum)
+		}
+	case loadgen.Closed:
+		// Closed-loop think time: the k-th admitted app begins after k
+		// think pauses, realised as a task.Sleep prefix on each of its
+		// threads (sleeps assign no blocking blame). The system stays
+		// closed; turnaround includes the think ramp, identically in the
+		// mix run and in the app's own baseline.
+		for k, app := range w.Apps {
+			think := sim.Time(k) * s.Load.Think
+			if think == 0 {
+				continue
+			}
+			for _, th := range app.Threads {
+				th.Program = append(task.Program{task.Sleep{Duration: think}}, th.Program...)
+			}
+		}
+	case loadgen.Diurnal, loadgen.Burst:
+		for _, app := range w.Apps {
+			app.Arrival = s.Load.Warp(app.Arrival)
+		}
+	}
+	return nil
 }
 
 // Spec converts a Table 4 composition into its scenario form: one closed

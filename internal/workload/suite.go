@@ -1,0 +1,108 @@
+package workload
+
+// The standard scenario suite: three named, seed-pinned scenarios that
+// exercise each load-generator family and carry class labels for
+// experiment.ClassTable. They are registered alongside the Table 4
+// compositions, so "datacenter-day" works everywhere a workload is named
+// — Experiment, colab-sim, colab-serve, colab-fleet — and travels the
+// fleet wire by name alone (no trace files).
+//
+// Every term pins @seed=, so program content and per-term arrival draws
+// are identical regardless of the build seed a run supplies; the build
+// seed still drives the load=util admission stream (batch-backfill), so
+// sweeping seeds sweeps arrival interleavings over fixed programs.
+
+import (
+	"colab/internal/loadgen"
+	"colab/internal/sim"
+)
+
+// SuiteScenario is one member of the standard suite.
+type SuiteScenario struct {
+	// Name is the registered scenario name.
+	Name string
+	// Class is the scenario's declared class label (its spec's @class=).
+	Class Class
+	// Description is a one-line summary for listings.
+	Description string
+	// Spec is the registered spec (Spec.Name is Name).
+	Spec Spec
+}
+
+// The standard suite's class labels.
+const (
+	ClassMixed       Class = "mixed"
+	ClassInteractive Class = "interactive"
+	ClassBatch       Class = "batch"
+)
+
+// standardSuite builds the suite's specs as literals. It must not call
+// ParseSpec: registration happens inside ensureBuiltins' sync.Once, and
+// parsing would re-enter it.
+func standardSuite() []SuiteScenario {
+	rep := func(bench string, threads, copies int) []AppSpec {
+		apps := make([]AppSpec, copies)
+		for i := range apps {
+			apps[i] = AppSpec{Bench: bench, Threads: threads}
+		}
+		return apps
+	}
+	return []SuiteScenario{
+		{
+			Name:        "datacenter-day",
+			Class:       ClassMixed,
+			Description: "two Poisson streams under a diurnal rate envelope",
+			Spec: Spec{
+				Name: "datacenter-day",
+				Terms: []Term{
+					{Apps: rep("water_nsquared", 2, 2), Seed: 101, HasSeed: true,
+						Arrival: Arrival{Kind: ArrivePoisson, Mean: 4 * sim.Millisecond}},
+					{Apps: rep("fft", 2, 2), Seed: 102, HasSeed: true,
+						Arrival: Arrival{Kind: ArrivePoisson, Mean: 6 * sim.Millisecond}},
+				},
+				Load:  loadgen.Load{Kind: loadgen.Diurnal, Period: 25 * sim.Millisecond, Factor: 3},
+				Class: ClassMixed,
+			},
+		},
+		{
+			Name:        "interactive-burst",
+			Class:       ClassInteractive,
+			Description: "a Poisson request stream under a square-wave burst envelope",
+			Spec: Spec{
+				Name: "interactive-burst",
+				Terms: []Term{
+					{Apps: rep("dedup", 2, 4), Seed: 202, HasSeed: true,
+						Arrival: Arrival{Kind: ArrivePoisson, Mean: 3 * sim.Millisecond}},
+				},
+				Load:  loadgen.Load{Kind: loadgen.Burst, Period: 16 * sim.Millisecond, Duty: 0.25, Factor: 4},
+				Class: ClassInteractive,
+			},
+		},
+		{
+			Name:        "batch-backfill",
+			Class:       ClassBatch,
+			Description: "closed batch jobs admitted open-loop at 60% target utilisation",
+			Spec: Spec{
+				Name: "batch-backfill",
+				Terms: []Term{
+					{Apps: rep("lu_cb", 2, 2), Seed: 301, HasSeed: true},
+					{Apps: rep("radix", 2, 2), Seed: 302, HasSeed: true},
+				},
+				Load:  loadgen.Load{Kind: loadgen.Util, Target: 0.6},
+				Class: ClassBatch,
+			},
+		},
+	}
+}
+
+// StandardSuite returns the standard scenario suite in registration order.
+func StandardSuite() []SuiteScenario { return standardSuite() }
+
+// SuiteNames returns the suite's scenario names in registration order.
+func SuiteNames() []string {
+	var out []string
+	for _, s := range standardSuite() {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestStandardSuiteRegistered pins the suite's registration surface: every
+// member resolves by name, keeps its registered name, and renders the
+// documented canonical grammar string.
+func TestStandardSuiteRegistered(t *testing.T) {
+	golden := map[string]string{
+		"datacenter-day":    "water_nsquared:2*2@seed=101@arrive=poisson(4ms)+fft:2*2@seed=102@arrive=poisson(6ms)@load=diurnal(25ms,3)@class=mixed",
+		"interactive-burst": "dedup:2*4@seed=202@arrive=poisson(3ms)@load=burst(16ms,0.25,4)@class=interactive",
+		"batch-backfill":    "lu_cb:2*2@seed=301+radix:2*2@seed=302@load=util(0.6)@class=batch",
+	}
+	classes := map[string]Class{
+		"datacenter-day":    ClassMixed,
+		"interactive-burst": ClassInteractive,
+		"batch-backfill":    ClassBatch,
+	}
+	suite := StandardSuite()
+	if len(suite) != 3 {
+		t.Fatalf("StandardSuite has %d members, want 3", len(suite))
+	}
+	for _, s := range suite {
+		spec, ok := ScenarioByName(s.Name)
+		if !ok {
+			t.Errorf("%s not registered", s.Name)
+			continue
+		}
+		if spec.Name != s.Name {
+			t.Errorf("%s: registered Name = %q", s.Name, spec.Name)
+		}
+		if got := spec.Canonical(); got != golden[s.Name] {
+			t.Errorf("%s canonical:\n got %q\nwant %q", s.Name, got, golden[s.Name])
+		}
+		if spec.Class != classes[s.Name] || s.Class != classes[s.Name] {
+			t.Errorf("%s class = %q/%q, want %q", s.Name, spec.Class, s.Class, classes[s.Name])
+		}
+		if s.Description == "" {
+			t.Errorf("%s has no description", s.Name)
+		}
+		// The canonical form is grammar-valid and a fixed point.
+		again, err := ParseSpec(spec.Canonical())
+		if err != nil {
+			t.Errorf("%s canonical does not parse: %v", s.Name, err)
+			continue
+		}
+		if again.Canonical() != spec.Canonical() {
+			t.Errorf("%s canonical not a fixed point: %q", s.Name, again.Canonical())
+		}
+		// Every term pins its seed (the suite's reproducibility contract).
+		for ti, term := range spec.Terms {
+			if !term.HasSeed {
+				t.Errorf("%s term %d does not pin @seed=", s.Name, ti+1)
+			}
+		}
+	}
+	for _, name := range SuiteNames() {
+		if _, ok := golden[name]; !ok {
+			t.Errorf("unexpected suite member %q", name)
+		}
+	}
+}
+
+// TestStandardSuiteSeedInvariance verifies the pinned-seed contract: with
+// every term seed pinned, programs and per-term arrivals are identical
+// whatever build seed a sweep supplies. Only the util admission stream
+// (batch-backfill) follows the build seed.
+func TestStandardSuiteSeedInvariance(t *testing.T) {
+	fingerprint := func(name string, seed uint64) []byte {
+		spec, _ := ScenarioByName(name)
+		w, err := spec.BuildFor(seed, 6) // 2B2S aggregate capacity
+		if err != nil {
+			t.Fatalf("%s at seed %d: %v", name, seed, err)
+		}
+		var buf bytes.Buffer
+		for _, app := range w.Apps {
+			fmt.Fprintf(&buf, "%s\n", app.Name)
+			for _, th := range app.Threads {
+				fmt.Fprintf(&buf, "%s %#v\n", th.Name, th.Program)
+			}
+		}
+		return buf.Bytes()
+	}
+	arrivals := func(name string, seed uint64) []int64 {
+		spec, _ := ScenarioByName(name)
+		w, err := spec.BuildFor(seed, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int64
+		for _, app := range w.Apps {
+			out = append(out, int64(app.Arrival))
+		}
+		return out
+	}
+	for _, name := range SuiteNames() {
+		if !bytes.Equal(fingerprint(name, 1), fingerprint(name, 99)) {
+			t.Errorf("%s: programs differ across build seeds despite pinned term seeds", name)
+		}
+	}
+	for _, name := range []string{"datacenter-day", "interactive-burst"} {
+		a, b := arrivals(name, 1), arrivals(name, 99)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: arrival %d differs across build seeds (%d vs %d)", name, i, a[i], b[i])
+			}
+		}
+	}
+	// batch-backfill's util stream follows the build seed by design.
+	a, b := arrivals("batch-backfill", 1), arrivals("batch-backfill", 99)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("batch-backfill: util admissions identical across build seeds, want seed-driven")
+	}
+	// And repeated builds at one seed are bit-identical.
+	for _, name := range SuiteNames() {
+		x, y := arrivals(name, 7), arrivals(name, 7)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Errorf("%s: arrivals not deterministic at fixed seed", name)
+			}
+		}
+	}
+}
+
+// TestStandardSuiteLoadSemantics pins the build-time load transforms:
+// diurnal/burst warp arrivals, util opens closed terms, and Closed()
+// strips all three back to a closed system.
+func TestStandardSuiteLoadSemantics(t *testing.T) {
+	for _, name := range SuiteNames() {
+		spec, _ := ScenarioByName(name)
+		if !spec.Open() {
+			t.Errorf("%s must be an open system", name)
+		}
+		closed := spec.Closed()
+		if closed.Open() {
+			t.Errorf("%s.Closed() still open", name)
+		}
+		w, err := closed.Build(5)
+		if err != nil {
+			t.Fatalf("%s closed build: %v", name, err)
+		}
+		for i, app := range w.Apps {
+			if app.Arrival != 0 {
+				t.Errorf("%s closed app %d arrives at %d", name, i, app.Arrival)
+			}
+		}
+	}
+	// util without a machine capacity is a clear error, not a silent zero.
+	spec, _ := ScenarioByName("batch-backfill")
+	if _, err := spec.Build(1); err == nil {
+		t.Error("batch-backfill.Build without capacity must error (want BuildFor)")
+	}
+}

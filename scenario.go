@@ -1,6 +1,7 @@
 package colab
 
 import (
+	"colab/internal/loadgen"
 	"colab/internal/mathx"
 	"colab/internal/workload"
 )
@@ -48,16 +49,45 @@ type (
 	Arrival = workload.Arrival
 	// ArrivalKind names an arrival process.
 	ArrivalKind = workload.ArrivalKind
+	// LoadGen is a spec-global load-generator transformer (the grammar's
+	// @load= clause): open-loop target utilisation, closed-loop think
+	// time, or a time-varying rate envelope.
+	LoadGen = loadgen.Load
+	// LoadKind names a load-generator family.
+	LoadKind = loadgen.Kind
+	// WorkloadClass is a scenario's declared class label (the grammar's
+	// @class= clause), the grouping key of Runner.ClassTable.
+	WorkloadClass = workload.Class
+	// SuiteScenario is one member of the registered standard scenario
+	// suite (StandardSuite).
+	SuiteScenario = workload.SuiteScenario
 )
 
 // Arrival process kinds.
 const (
-	ArriveClosed  = workload.ArriveClosed
-	ArriveFixed   = workload.ArriveFixed
-	ArriveUniform = workload.ArriveUniform
-	ArrivePoisson = workload.ArrivePoisson
-	ArriveTrace   = workload.ArriveTrace
+	ArriveClosed    = workload.ArriveClosed
+	ArriveFixed     = workload.ArriveFixed
+	ArriveUniform   = workload.ArriveUniform
+	ArrivePoisson   = workload.ArrivePoisson
+	ArriveTrace     = workload.ArriveTrace
+	ArriveTraceFile = workload.ArriveTraceFile
 )
+
+// Load-generator kinds (@load=).
+const (
+	LoadNone    = loadgen.None
+	LoadUtil    = loadgen.Util
+	LoadClosed  = loadgen.Closed
+	LoadDiurnal = loadgen.Diurnal
+	LoadBurst   = loadgen.Burst
+)
+
+// StandardSuite returns the registered standard scenario suite —
+// datacenter-day, interactive-burst, batch-backfill — in registration
+// order. Each member is runnable by name everywhere workloads are named
+// (Experiment, colab-sim, colab-serve, colab-fleet), pins every term's
+// seed, and declares the class label ClassTable groups by.
+func StandardSuite() []SuiteScenario { return workload.StandardSuite() }
 
 // NewRNG returns a deterministic RNG for standalone app authoring.
 func NewRNG(seed uint64) *RNG { return mathx.NewRNG(seed) }

@@ -1,0 +1,169 @@
+package colab_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	colab "colab"
+)
+
+// suiteSweep is the standard-suite cross product the determinism tests
+// sweep: all three registered suite scenarios over two policies and two
+// seeds on the paper machine.
+func suiteSweep(extra ...colab.ExperimentOption) *colab.Experiment {
+	opts := []colab.ExperimentOption{
+		colab.WithWorkloads("datacenter-day", "interactive-burst", "batch-backfill"),
+		colab.WithMachine(colab.Config2B2S),
+		colab.WithPolicies("linux", "colab"),
+		colab.WithSeeds(1, 2),
+	}
+	return colab.NewExperiment(append(opts, extra...)...)
+}
+
+// TestStandardSuiteAPI pins the public suite surface: three members, each
+// resolvable as an experiment workload by its registered name.
+func TestStandardSuiteAPI(t *testing.T) {
+	suite := colab.StandardSuite()
+	if len(suite) != 3 {
+		t.Fatalf("StandardSuite has %d members, want 3", len(suite))
+	}
+	for _, s := range suite {
+		if s.Name == "" || s.Class == "" || s.Description == "" {
+			t.Errorf("suite member incomplete: %+v", s)
+		}
+		res, err := colab.NewExperiment(
+			colab.WithWorkloads(s.Name),
+			colab.WithPolicies("linux"),
+		).Run(context.Background())
+		if err != nil {
+			t.Errorf("%s does not run by name: %v", s.Name, err)
+			continue
+		}
+		if len(res.Cells) != 1 || res.Cells[0].Score.HANTT <= 0 {
+			t.Errorf("%s: degenerate result %+v", s.Name, res.Cells)
+		}
+	}
+}
+
+// TestStandardSuiteSweepDeterminism requires the suite sweep's CSV to be
+// byte-identical at every worker count and across repeated runs — the
+// load generators (diurnal, burst, util) must not leak scheduling
+// nondeterminism into the cells.
+func TestStandardSuiteSweepDeterminism(t *testing.T) {
+	ref := runCSV(t, suiteSweep())
+	if got := len(strings.Split(strings.TrimSpace(ref), "\n")); got != 1+12 {
+		t.Fatalf("reference csv has %d lines, want header + 12 cells:\n%s", got, ref)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		if got := runCSV(t, suiteSweep(colab.WithWorkers(workers))); got != ref {
+			t.Errorf("workers=%d diverges from reference:\n--- reference\n%s\n--- got\n%s", workers, ref, got)
+		}
+	}
+	// A repeated run in the same process (warm memo caches) must also agree.
+	if got := runCSV(t, suiteSweep(colab.WithWorkers(8))); got != ref {
+		t.Errorf("repeated run diverges from reference:\n--- reference\n%s\n--- got\n%s", ref, got)
+	}
+}
+
+// TestDiurnalCheckpointKillResume kills a journaled sweep of the
+// load=diurnal suite scenario mid-run, resumes over the same journal
+// (with a torn trailing record), and requires the resumed output to be
+// byte-identical to an uninterrupted run.
+func TestDiurnalCheckpointKillResume(t *testing.T) {
+	day := func(extra ...colab.ExperimentOption) *colab.Experiment {
+		opts := []colab.ExperimentOption{
+			colab.WithWorkloads("datacenter-day"),
+			colab.WithMachine(colab.Config2B2S),
+			colab.WithPolicies("linux", "colab"),
+			colab.WithSeeds(1, 2),
+		}
+		return colab.NewExperiment(append(opts, extra...)...)
+	}
+	ref := runCSV(t, day())
+	path := filepath.Join(t.TempDir(), "day.ndjson")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := 0
+	_, err := day(
+		colab.WithCheckpoint(path),
+		colab.WithWorkers(2),
+		colab.WithObserver(func(colab.ExperimentResult) {
+			killed++
+			cancel()
+		}),
+	).Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run must surface ctx.Err(), got %v", err)
+	}
+	if killed == 0 {
+		t.Fatal("observer never fired before the kill")
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, `{"key":"torn-by-kill`)
+	f.Close()
+
+	replayed := 0
+	resumed, err := day(
+		colab.WithCheckpoint(path),
+		colab.WithObserver(func(c colab.ExperimentResult) {
+			if c.Cached {
+				replayed++
+			}
+		}),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if replayed == 0 {
+		t.Error("resume recomputed every cell; journal was not replayed")
+	}
+	var buf bytes.Buffer
+	if err := resumed.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != ref {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s", ref, buf.String())
+	}
+}
+
+// TestFleetRejectsTraceFileWorkloads pins the wire-safety rule: a spec
+// that replays a local trace file cannot travel the fleet by name, and
+// the error names the offending term before any worker is contacted.
+func TestFleetRejectsTraceFileWorkloads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arrivals.trace")
+	if err := os.WriteFile(path, []byte("0\n5ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := fmt.Sprintf("dedup:2*2@arrive=tracefile(%s)", path)
+	_, err := colab.NewExperiment(
+		colab.WithWorkloads(spec),
+		colab.WithPolicies("linux"),
+		colab.WithFleet(colab.NewFleet(colab.FleetOptions{})),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "trace file") {
+		t.Fatalf("tracefile + fleet: error %v, want a trace-file rejection", err)
+	}
+	if !strings.Contains(err.Error(), "dedup") || !strings.Contains(err.Error(), "tracefile(") {
+		t.Errorf("rejection does not name the offending term: %v", err)
+	}
+	// The same spec runs fine locally.
+	res, err := colab.NewExperiment(
+		colab.WithWorkloads(spec),
+		colab.WithPolicies("linux"),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatalf("tracefile spec must run locally: %v", err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+}
