@@ -240,3 +240,32 @@ func BenchmarkKernelEvents128(b *testing.B) {
 		b.ReportMetric(float64(events)/s, "events/sec")
 	}
 }
+
+// BenchmarkKernelEventsNUMA measures kernel throughput with an active
+// topology: the same 128-thread mix on the two-socket 256-core palette
+// under COLAB, so every dispatch runs the home-domain allocator, the
+// domain-ranked steal comparator and the migration-penalty charge.
+func BenchmarkKernelEventsNUMA(b *testing.B) {
+	model, err := colab.TrainSpeedupModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := colab.BuildWorkload("ferret:32+bodytrack:32+radix:32+fft:32", uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := colab.Run(colab.Config2x32B32M64S, colab.NewCOLAB(model), w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}

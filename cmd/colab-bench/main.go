@@ -12,6 +12,7 @@
 //	colab-bench -delta       # paper-vs-repro quantitative delta table
 //	colab-bench -trigear     # six policies on the 2B2M2S machine
 //	colab-bench -oppsweep    # COLAB across the 2B2M2S frequency ladders
+//	colab-bench -numa        # migration-cost sensitivity on the 2x2B2S machine
 //
 // Ctrl-C cancels: context-aware jobs (-delta, -csv) abort mid-matrix, the
 // job loop stops before the next job, and a second Ctrl-C kills outright.
@@ -76,6 +77,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	energy := fs.Bool("energy", false, "run the energy/EDP extension table")
 	trigear := fs.Bool("trigear", false, "run the tri-gear (2B2M2S) policy extension table")
 	oppsweep := fs.Bool("oppsweep", false, "run the COLAB frequency-ladder sweep on the 2B2M2S machine")
+	numa := fs.Bool("numa", false, "run the NUMA migration-cost sensitivity sweep on the 2x2B2S machine")
 	replication := fs.Bool("replication", false, "run the multi-seed variance table")
 	classes := fs.Bool("classes", false, "run the standard-suite per-class table (@class= regrouping)")
 	detail := fs.Bool("detail", false, "print every per-workload cell of the matrix")
@@ -121,6 +123,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		tableJob("energy", r.EnergyTable),
 		tableJob("trigear", r.TriGearTable),
 		tableJob("oppsweep", r.OPPSweepTable),
+		tableJob("numa", r.NUMASweepTable),
 		tableJob("replication", func() (*experiment.Table, error) {
 			return experiment.ReplicationTable(nil)
 		}),
@@ -151,6 +154,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		names = []string{"trigear"}
 	case *oppsweep:
 		names = []string{"oppsweep"}
+	case *numa:
+		names = []string{"numa"}
 	case *replication:
 		names = []string{"replication"}
 	case *classes:

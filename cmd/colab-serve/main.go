@@ -24,7 +24,10 @@
 //
 // Endpoints:
 //
-//	GET/POST /run      stream one NDJSON object per cell (see cellLine)
+//	GET/POST /run      stream one NDJSON object per cell (see cellLine);
+//	                   cells carry the spec's @class= label, and with
+//	                   ?classes=1 the stream ends with the per-class
+//	                   grouping (one classLine per class x policy)
 //	GET      /stats    cache and service counters, JSON
 //	GET      /healthz  liveness probe
 package main
@@ -45,6 +48,7 @@ import (
 
 	colab "colab"
 	"colab/internal/cpu"
+	"colab/internal/mathx"
 	"colab/internal/workload"
 )
 
@@ -120,9 +124,11 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // cellLine is one streamed result: the cell's sweep coordinates, its
 // scores, its canonical content address, and whether the cache (or a
-// checkpoint journal) answered it.
+// checkpoint journal) answered it. Class carries the workload spec's
+// @class= label (empty for unclassified scenarios).
 type cellLine struct {
 	Workload string  `json:"workload"`
+	Class    string  `json:"class,omitempty"`
 	Machine  string  `json:"machine"`
 	Policy   string  `json:"policy"`
 	Seed     uint64  `json:"seed"`
@@ -130,6 +136,49 @@ type cellLine struct {
 	HSTP     float64 `json:"h_stp"`
 	CellKey  string  `json:"cell_key"`
 	Cached   bool    `json:"cached"`
+}
+
+// classLine is one row of the ?classes=1 trailer: the ClassTable grouping
+// of the streamed cells, geomeaned per (class, policy) in first-seen
+// stream order.
+type classLine struct {
+	Class  string  `json:"class"`
+	Policy string  `json:"policy"`
+	Cells  int     `json:"cells"`
+	HANTT  float64 `json:"geomean_h_antt"`
+	HSTP   float64 `json:"geomean_h_stp"`
+}
+
+// classLines folds the streamed cells into the per-class grouping.
+func classLines(cells []cellLine) []classLine {
+	type key struct{ class, policy string }
+	var out []classLine
+	groups := make(map[key][]cellLine)
+	var order []key
+	for _, c := range cells {
+		class := c.Class
+		if class == "" {
+			class = "unclassified"
+		}
+		k := key{class, c.Policy}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	for _, k := range order {
+		g := groups[k]
+		antt := make([]float64, len(g))
+		stp := make([]float64, len(g))
+		for i, c := range g {
+			antt[i], stp[i] = c.HANTT, c.HSTP
+		}
+		out = append(out, classLine{
+			Class: k.class, Policy: k.policy, Cells: len(g),
+			HANTT: mathx.GeoMean(antt), HSTP: mathx.GeoMean(stp),
+		})
+	}
+	return out
 }
 
 // splitList flattens repeated and comma-separated query values into one
@@ -147,22 +196,25 @@ func splitList(values []string) []string {
 }
 
 // optionsFromQuery translates the request's query parameters into
-// session options. Unknown machine names and malformed numbers are
-// caught here; workload and policy spellings are validated by Run
-// itself.
-func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOption, error) {
+// session options, plus the resolved workload-name -> @class= label map
+// the NDJSON stream annotates cells with. Unknown machine names and
+// malformed numbers are caught here; workload and policy spellings are
+// validated by Run itself.
+func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOption, map[string]string, error) {
 	opts := []colab.ExperimentOption{colab.WithCellCache(s.cache)}
 	workloads := splitList(q["workload"])
 	if len(workloads) == 0 {
-		return nil, fmt.Errorf("at least one workload parameter is required (a registered name or a scenario-grammar spec)")
+		return nil, nil, fmt.Errorf("at least one workload parameter is required (a registered name or a scenario-grammar spec)")
 	}
+	classOf := make(map[string]string)
 	for _, w := range workloads {
 		// Unresolvable workloads fall through: Run reports them with the
 		// registered inventories.
 		if spec, err := workload.ResolveSpec(w); err == nil {
 			if terms := spec.TraceFiles(); len(terms) != 0 {
-				return nil, fmt.Errorf("workload %q replays the local trace file of term %q; the service resolves workloads by name, so inline the times with @arrive=trace(...)", w, terms[0])
+				return nil, nil, fmt.Errorf("workload %q replays the local trace file of term %q; the service resolves workloads by name, so inline the times with @arrive=trace(...)", w, terms[0])
 			}
+			classOf[spec.Name] = string(spec.Class)
 		}
 	}
 	opts = append(opts, colab.WithWorkloads(workloads...))
@@ -175,7 +227,7 @@ func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOpti
 				for _, c := range cpu.NamedConfigs() {
 					known = append(known, c.Name)
 				}
-				return nil, fmt.Errorf("unknown machine %q (known: %s)", name, strings.Join(known, ", "))
+				return nil, nil, fmt.Errorf("unknown machine %q (known: %s)", name, strings.Join(known, ", "))
 			}
 			cfgs = append(cfgs, cfg)
 		}
@@ -189,7 +241,7 @@ func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOpti
 		for _, v := range raw {
 			n, err := strconv.ParseUint(v, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("seed %q is not an unsigned integer", v)
+				return nil, nil, fmt.Errorf("seed %q is not an unsigned integer", v)
 			}
 			seeds = append(seeds, n)
 		}
@@ -198,7 +250,7 @@ func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOpti
 	if v := strings.TrimSpace(strings.Join(q["workers"], "")); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("workers %q is not a positive integer", v)
+			return nil, nil, fmt.Errorf("workers %q is not a positive integer", v)
 		}
 		opts = append(opts, colab.WithWorkers(n))
 	}
@@ -207,11 +259,11 @@ func (s *server) optionsFromQuery(q map[string][]string) ([]colab.ExperimentOpti
 		idx, err1 := strconv.Atoi(strings.Join(idxRaw, ""))
 		cnt, err2 := strconv.Atoi(strings.Join(cntRaw, ""))
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("shard_index and shard_count must be set together as integers")
+			return nil, nil, fmt.Errorf("shard_index and shard_count must be set together as integers")
 		}
 		opts = append(opts, colab.WithShard(idx, cnt))
 	}
-	return opts, nil
+	return opts, classOf, nil
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -242,15 +294,20 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	opts, err := s.optionsFromQuery(r.Form)
+	opts, classOf, err := s.optionsFromQuery(r.Form)
 	if err != nil {
 		http.Error(w, "colab-serve: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	wantClasses := false
+	if v := strings.TrimSpace(strings.Join(r.Form["classes"], "")); v != "" && v != "0" && v != "false" {
+		wantClasses = true
 	}
 
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	streamed := 0
+	var collected []cellLine
 	opts = append(opts, colab.WithObserver(func(c colab.ExperimentResult) {
 		if streamed == 0 {
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -258,8 +315,9 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		streamed++
 		s.cellsServed.Add(1)
-		enc.Encode(cellLine{
+		line := cellLine{
 			Workload: c.Run.Workload,
+			Class:    classOf[c.Run.Workload],
 			Machine:  c.Run.Machine,
 			Policy:   c.Run.Policy,
 			Seed:     c.Run.Seed,
@@ -267,7 +325,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			HSTP:     c.Score.HSTP,
 			CellKey:  c.Key.String(),
 			Cached:   c.Cached,
-		})
+		}
+		if wantClasses {
+			collected = append(collected, line)
+		}
+		enc.Encode(line)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -281,6 +343,17 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		// Mid-stream failure: the status line is gone, so report in-band.
 		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	if wantClasses {
+		// The class trailer: the ClassTable grouping of the cells just
+		// streamed, one NDJSON object per (class, policy) group.
+		for _, cl := range classLines(collected) {
+			enc.Encode(cl)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
 }
 

@@ -278,6 +278,73 @@ func TestCacheLimitEvicts(t *testing.T) {
 	}
 }
 
+// Cells carry their spec's @class= label, and ?classes=1 appends the
+// per-class grouping as a trailer after the cell stream.
+func TestRunClassColumnsAndGrouping(t *testing.T) {
+	ts := httptest.NewServer(newServer(serverOptions{}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/run?workload=interactive-burst,memory-churn&policy=linux,wash&seed=1&classes=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run -> %s", resp.Status)
+	}
+	var cells []cellLine
+	var groups []classLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "geomean_h_antt") {
+			var g classLine
+			if err := json.Unmarshal(sc.Bytes(), &g); err != nil {
+				t.Fatalf("bad class line %q: %v", sc.Text(), err)
+			}
+			groups = append(groups, g)
+			continue
+		}
+		if len(groups) > 0 {
+			t.Fatalf("cell line %q after the class trailer began", sc.Text())
+		}
+		var c cellLine
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		cells = append(cells, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (2 workloads x 2 policies)", len(cells))
+	}
+	wantClass := map[string]string{"interactive-burst": "interactive", "memory-churn": "memory"}
+	for _, c := range cells {
+		if c.Class != wantClass[c.Workload] {
+			t.Errorf("cell %s has class %q, want %q", c.Workload, c.Class, wantClass[c.Workload])
+		}
+	}
+	if len(groups) != 4 {
+		t.Fatalf("got %d class groups, want 4 (2 classes x 2 policies)", len(groups))
+	}
+	byKey := make(map[string]classLine)
+	for _, g := range groups {
+		byKey[g.Class+"/"+g.Policy] = g
+	}
+	for _, c := range cells {
+		g, ok := byKey[c.Class+"/"+c.Policy]
+		if !ok {
+			t.Errorf("no class group for cell %s/%s", c.Class, c.Policy)
+			continue
+		}
+		// One cell per (class, policy) here, so the geomean is the cell.
+		if g.Cells != 1 || g.HANTT != c.HANTT || g.HSTP != c.HSTP {
+			t.Errorf("group %s/%s = %+v, want the single cell %+v", c.Class, c.Policy, g, c)
+		}
+	}
+}
+
 func TestSplitList(t *testing.T) {
 	got := splitList([]string{"a, b", "", "c", " , d"})
 	want := []string{"a", "b", "c", "d"}

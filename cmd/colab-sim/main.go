@@ -54,8 +54,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	littleFirst := fs.Bool("little-first", false, "order little cores before big cores")
 	trace := fs.Bool("trace", false, "print the scheduling event trace to stderr")
 	score := fs.Bool("score", false, "also print auto-baselined H_ANTT/H_STP via the session API (-workload only)")
+	listMachines := fs.Bool("list-machines", false, "list the named machine configs with their socket/LLC-domain layout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *listMachines {
+		for _, c := range cpu.NamedConfigs() {
+			fmt.Fprintf(stdout, "%s (%d cores)\n", c.Name, len(c.Kinds))
+			for _, line := range c.DescribeTopology() {
+				fmt.Fprintln(stdout, "  "+line)
+			}
+		}
+		return nil
 	}
 
 	base, ok := cpu.ConfigByName(*cfgName)

@@ -18,6 +18,43 @@ func TestRunWorkload(t *testing.T) {
 	}
 }
 
+// -list-machines prints every named config with its socket/LLC-domain
+// layout (flat machines report the single implicit domain).
+func TestListMachines(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-list-machines"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"2B2S (4 cores)",
+		"topology: flat (4 cores, one implicit LLC domain)",
+		"2x32B32M64S (256 cores)",
+		"topology: 2 sockets, 4 LLC domains, migration cost 8000 cycles/hop",
+		"socket 1 / domain 3: cores 192-255 (64S)",
+		"4x16B16S (128 cores)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
+// A NUMA-palette workload runs end to end by name, including the suite's
+// memory-churn member.
+func TestRunNUMAPaletteSuiteMember(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "memory-churn", "-config", "2x2B2S", "-sched", "colab"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"workload memory-churn", "config 2x2B2S", "cpu7(little)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunTriGearBench(t *testing.T) {
 	var out, errb strings.Builder
 	if err := run([]string{"-bench", "radix", "-threads", "2", "-config", "2B2M2S", "-sched", "colab"}, &out, &errb); err != nil {

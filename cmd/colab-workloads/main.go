@@ -48,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *suite {
 		fmt.Fprintln(stdout, "== standard scenario suite (runnable by name everywhere workloads are named) ==")
 		for _, s := range colab.StandardSuite() {
-			fmt.Fprintf(stdout, "%-18s class=%-12s %s\n", s.Name, s.Class, s.Description)
+			fmt.Fprintf(stdout, "%-18s class=%-12s machine=%-12s %s\n", s.Name, s.Class, s.Machine, s.Description)
 			fmt.Fprintf(stdout, "%-18s %s\n", "", s.Spec.Canonical())
 		}
 		return nil
@@ -66,7 +66,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		b, ok := workload.ByName(*describe)
 		if !ok {
-			// Not a bare benchmark: describe the parsed scenario spec.
+			// Named machine shapes describe their socket/LLC-domain layout.
+			if cfg, okc := cpu.ConfigByName(*describe); okc {
+				return describeMachine(stdout, cfg)
+			}
+			// Not a bare benchmark or machine: describe the parsed spec.
 			return describeSpec(stdout, *describe)
 		}
 		app, err := b.Instantiate(0, *threads, mathx.NewRNG(42))
@@ -108,11 +112,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// describeMachine prints a named config's tier palette and socket /
+// LLC-domain layout.
+func describeMachine(stdout io.Writer, cfg cpu.Config) error {
+	var tiers []string
+	for _, t := range cfg.Tiers() {
+		tiers = append(tiers, t.Name)
+	}
+	fmt.Fprintf(stdout, "machine %s: %d cores, tiers %s\n", cfg.Name, len(cfg.Kinds), strings.Join(tiers, "/"))
+	for _, line := range cfg.DescribeTopology() {
+		fmt.Fprintln(stdout, line)
+	}
+	fmt.Fprintf(stdout, "fingerprint %s\n", cfg.Fingerprint())
+	return nil
+}
+
 // describeSpec prints how a scenario-grammar spec parses: canonical form,
 // per-term modifiers and the app-by-app expansion.
 func describeSpec(stdout io.Writer, input string) error {
 	spec, err := colab.ParseScenario(input)
 	if err != nil {
+		// A bare word is most likely a misspelled benchmark or machine
+		// name: surface the registered machine inventory alongside the
+		// parse error (benchmarks are listed by the bare command).
+		if !strings.ContainsAny(input, ":+@(") {
+			var known []string
+			for _, c := range cpu.NamedConfigs() {
+				known = append(known, c.Name)
+			}
+			return fmt.Errorf("%q is not a registered benchmark, machine, or scenario (machines: %s): %w",
+				input, strings.Join(known, ", "), err)
+		}
 		return err
 	}
 	system := "closed (all apps admitted at t=0)"

@@ -70,11 +70,57 @@ func TestRunDescribeSpec(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
-	if err := run([]string{"-describe", "nosuchbench"}, &out, &errb); err == nil {
+	err := run([]string{"-describe", "nosuchbench"}, &out, &errb)
+	if err == nil {
 		t.Error("want error for unknown benchmark")
+	} else if !strings.Contains(err.Error(), "machines:") || !strings.Contains(err.Error(), "2x2B2S") {
+		t.Errorf("unknown-name error does not list registered machines: %v", err)
 	}
 	if err := run([]string{"-describe", "radix", "-tiers", "quadgear"}, &out, &errb); err == nil {
 		t.Error("want error for unknown tier palette")
+	}
+}
+
+// -describe takes a named machine shape and prints its tier palette and
+// socket/LLC-domain layout.
+func TestDescribeMachine(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-describe", "2x2B2S"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"machine 2x2B2S: 8 cores",
+		"topology: 2 sockets, 2 LLC domains, migration cost 8000 cycles/hop",
+		"socket 0 / domain 0: cores 0-3 (2B+2S)",
+		"socket 1 / domain 1: cores 4-7 (2B+2S)",
+		"fingerprint 2x2B2S#",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output misses %q:\n%s", want, s)
+		}
+	}
+	// Flat machines describe the single implicit domain.
+	out.Reset()
+	if err := run([]string{"-describe", "2B2S"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "topology: flat (4 cores, one implicit LLC domain)") {
+		t.Errorf("flat describe drifted:\n%s", out.String())
+	}
+}
+
+// -suite includes each member's machine hint.
+func TestSuiteListsMachineHints(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-suite"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"memory-churn", "machine=2x2B2S", "class=memory"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("suite listing misses %q:\n%s", want, s)
+		}
 	}
 }
 

@@ -56,6 +56,7 @@ import (
 	colabsched "colab/internal/sched/colab"
 	"colab/internal/sim"
 	"colab/internal/task"
+	"colab/internal/topo"
 	"colab/internal/workload"
 )
 
@@ -106,6 +107,13 @@ type (
 	Composition = workload.Composition
 	// Benchmark is one Table 3 synthetic benchmark generator.
 	Benchmark = workload.Benchmark
+	// Topology describes a machine's socket/LLC-domain layout and
+	// per-hop migration cost; attach one to a Config with WithTopology or
+	// build a regular layout with NewNUMAConfig. The zero value is the
+	// flat (single-domain) machine.
+	Topology = topo.Topology
+	// TopologyDomain is one shared-LLC core group of a Topology.
+	TopologyDomain = topo.Domain
 )
 
 // Workload-authoring types: build custom applications against the same
@@ -159,7 +167,21 @@ var (
 	// Config64B64S is the 128-core big.LITTLE shape (64 big + 64 little)
 	// at the paper's fixed-frequency anchors.
 	Config64B64S = cpu.Config64B64S
+	// Config2x32B32M64S is the 256-core two-socket tri-gear NUMA palette:
+	// each socket holds 32 big + 32 medium + 64 little cores split into
+	// two LLC domains, with the default cold-cache migration penalty.
+	Config2x32B32M64S = cpu.Config2x32B32M64S
+	// Config4x16B16S is the 128-core four-socket big.LITTLE NUMA palette
+	// (16 big + 16 little per socket, one LLC domain each).
+	Config4x16B16S = cpu.Config4x16B16S
+	// Config2x2B2S is the small two-socket NUMA shape (2 big + 2 little
+	// per socket) the determinism tests and migration-cost sweeps use.
+	Config2x2B2S = cpu.Config2x2B2S
 )
+
+// DefaultMigrationPenaltyCycles is the committed NUMA palettes' cold-cache
+// migration penalty in destination-core cycles per LLC-domain hop.
+const DefaultMigrationPenaltyCycles = topo.DefaultPenaltyCycles
 
 // The standard tiers: the paper's fixed-frequency anchors plus the
 // DVFS-laddered variants the tri-gear machine uses.
@@ -190,6 +212,26 @@ func NewTieredConfig(tiers []Tier, counts []int, bigFirst bool) Config {
 // TriGearTiers returns the three-tier DynamIQ-style palette
 // (little+medium+big, all with DVFS ladders) in ascending capacity order.
 func TriGearTiers() []Tier { return cpu.TriGearTiers() }
+
+// NewNUMAConfig builds a multi-socket machine: sockets identical sockets,
+// each carrying countsPerSocket[i] cores of tiers[i] split contiguously
+// into domainsPerSocket shared-LLC domains, with penaltyCycles cold-cache
+// migration cost per inter-domain hop (1 hop within a socket, 2 across
+// sockets). A penalty of 0 schedules bit-identically to the flat machine.
+func NewNUMAConfig(sockets, domainsPerSocket int, tiers []Tier, countsPerSocket []int, penaltyCycles float64, bigFirst bool) Config {
+	return cpu.NewNUMAConfig(sockets, domainsPerSocket, tiers, countsPerSocket, penaltyCycles, bigFirst)
+}
+
+// WithTopology returns the config with the given socket/LLC-domain layout
+// attached (Uniform topologies come from NewNUMAConfig; hand-built ones
+// are validated on the next Run).
+func WithTopology(cfg Config, t Topology) Config { return cfg.WithTopology(t) }
+
+// UniformTopology builds a regular socket-major layout: sockets ×
+// domainsPerSocket LLC domains of coresPerDomain cores each.
+func UniformTopology(sockets, domainsPerSocket, coresPerDomain int, penaltyCycles float64) Topology {
+	return topo.Uniform(sockets, domainsPerSocket, coresPerDomain, penaltyCycles)
+}
 
 // Benchmarks returns the fifteen Table 3 benchmark generators (the fixed
 // paper set; RegisteredBenchmarks includes user registrations).

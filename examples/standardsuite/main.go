@@ -1,6 +1,6 @@
 // Standardsuite: runs the registered standard scenario suite —
-// datacenter-day, interactive-burst, batch-backfill — and regenerates
-// the per-class table its @class= labels define.
+// datacenter-day, interactive-burst, batch-backfill, memory-churn — and
+// regenerates the per-class table its @class= labels define.
 //
 // The suite shows the load-generator layer end to end:
 //

@@ -18,7 +18,12 @@
 // real hardware.
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"colab/internal/topo"
+)
 
 // Kind is a per-core tier index into a Config's tier set. In the default
 // two-tier palette index 0 is the little tier and index 1 the big tier; the
@@ -224,6 +229,37 @@ type Config struct {
 	// TierSet is the ascending-capacity tier palette Kinds index into.
 	// nil selects DefaultTiers (the paper's big.LITTLE pair).
 	TierSet []Tier
+	// Topo is the machine's socket/LLC-domain layout. The zero value is
+	// the flat (single-domain) machine, which behaves — and fingerprints —
+	// exactly like the pre-topology model.
+	Topo topo.Topology
+}
+
+// Topology returns the config's socket/LLC-domain layout (flat when unset).
+func (c Config) Topology() topo.Topology { return c.Topo }
+
+// WithTopology returns c with the topology attached. Validate checks the
+// layout against the core count.
+func (c Config) WithTopology(t topo.Topology) Config {
+	c.Topo = t
+	return c
+}
+
+// WithMigrationCost returns c with its topology's per-hop migration
+// penalty replaced (cycles = 0 makes the machine schedule bit-identically
+// to its flat equivalent).
+func (c Config) WithMigrationCost(cycles float64) Config {
+	t := c.Topo
+	t.PenaltyCycles = cycles
+	c.Topo = t
+	return c
+}
+
+// Flat returns c with its topology stripped: the equivalent single-domain
+// machine with an identical core layout.
+func (c Config) Flat() Config {
+	c.Topo = topo.Topology{}
+	return c
 }
 
 // Tiers returns the config's tier palette (DefaultTiers when unset).
@@ -261,6 +297,9 @@ func (c Config) Validate() error {
 		if int(k) < 0 || int(k) >= len(tiers) {
 			return fmt.Errorf("cpu: config %q core %d has tier index %d outside palette of %d", c.Name, i, k, len(tiers))
 		}
+	}
+	if err := c.Topo.Validate(len(c.Kinds)); err != nil {
+		return fmt.Errorf("cpu: config %q: %w", c.Name, err)
 	}
 	return nil
 }
@@ -332,25 +371,142 @@ func NewTieredConfig(tiers []Tier, counts []int, bigFirst bool) Config {
 	return Config{Name: name, Kinds: kinds, TierSet: tiers}
 }
 
+// NewNUMAConfig builds a multi-socket machine: every socket carries the
+// same per-socket tier palette (countsPerSocket[i] cores of tiers[i], tier
+// blocks in descending capacity order when bigFirst), its cores split
+// contiguously into domainsPerSocket shared-LLC domains, and migrations pay
+// penaltyCycles destination-core cycles per distance hop. The name prefixes
+// the per-socket shape with the socket count, e.g. "2x32B32M64S".
+func NewNUMAConfig(sockets, domainsPerSocket int, tiers []Tier, countsPerSocket []int, penaltyCycles float64, bigFirst bool) Config {
+	if sockets < 1 || domainsPerSocket < 1 {
+		panic(fmt.Sprintf("cpu: NewNUMAConfig needs positive shape, got %d sockets × %d domains", sockets, domainsPerSocket))
+	}
+	socket := NewTieredConfig(tiers, countsPerSocket, bigFirst)
+	perSocket := len(socket.Kinds)
+	if perSocket%domainsPerSocket != 0 {
+		panic(fmt.Sprintf("cpu: NewNUMAConfig socket of %d cores does not split into %d LLC domains", perSocket, domainsPerSocket))
+	}
+	name := fmt.Sprintf("%dx%s", sockets, socket.Name)
+	checkCoreCount(sockets*perSocket, "config "+name)
+	kinds := make([]Kind, 0, sockets*perSocket)
+	for s := 0; s < sockets; s++ {
+		kinds = append(kinds, socket.Kinds...)
+	}
+	return Config{
+		Name:    name,
+		Kinds:   kinds,
+		TierSet: tiers,
+		Topo:    topo.Uniform(sockets, domainsPerSocket, perSocket/domainsPerSocket, penaltyCycles),
+	}
+}
+
+// DescribeTopology renders the config's socket/LLC-domain layout for the
+// CLI tools: a summary line plus one line per domain with its socket, core
+// range and tier mix. Flat configs get a single "flat" line.
+func (c Config) DescribeTopology() []string {
+	t := c.Topo
+	if t.IsFlat() {
+		return []string{fmt.Sprintf("topology: flat (%d cores, one implicit LLC domain)", len(c.Kinds))}
+	}
+	lines := []string{fmt.Sprintf("topology: %d sockets, %d LLC domains, migration cost %g cycles/hop",
+		t.NumSockets(), t.NumDomains(), t.PenaltyCycles)}
+	for di, d := range t.Domains {
+		counts := make([]int, c.NumTiers())
+		for _, id := range d.Cores {
+			counts[c.Kinds[id]]++
+		}
+		mix := ""
+		for i := len(counts) - 1; i >= 0; i-- {
+			if counts[i] == 0 {
+				continue
+			}
+			if mix != "" {
+				mix += "+"
+			}
+			sym := c.Tiers()[i].Symbol
+			if sym == "" {
+				sym = "?"
+			}
+			mix += fmt.Sprintf("%d%s", counts[i], sym)
+		}
+		lines = append(lines, fmt.Sprintf("  socket %d / domain %d: cores %s (%s)", d.Socket, di, coreRangeString(d.Cores), mix))
+	}
+	return lines
+}
+
+// coreRangeString compresses a core list into "0-31" / "0-3,8" display form.
+func coreRangeString(ids []int) string {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	out := ""
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if out != "" {
+			out += ","
+		}
+		if i == j {
+			out += fmt.Sprintf("%d", sorted[i])
+		} else {
+			out += fmt.Sprintf("%d-%d", sorted[i], sorted[j])
+		}
+		i = j + 1
+	}
+	return out
+}
+
 // Ordered returns the config with its cores regrouped by tier: descending
 // capacity when bigFirst (the evaluated default), ascending otherwise (the
 // "-lf" variant the paper averages against). Per-tier counts are preserved.
+// On a topology config the regrouping happens within each LLC domain, so
+// the socket layout — and every domain's tier composition — is preserved.
 func (c Config) Ordered(bigFirst bool) Config {
-	counts := make([]int, c.NumTiers())
-	for _, k := range c.Kinds {
-		counts[k]++
-	}
-	kinds := make([]Kind, 0, len(c.Kinds))
-	if bigFirst {
-		for i := len(counts) - 1; i >= 0; i-- {
-			for n := 0; n < counts[i]; n++ {
-				kinds = append(kinds, Kind(i))
+	var kinds []Kind
+	if c.Topo.IsFlat() {
+		counts := make([]int, c.NumTiers())
+		for _, k := range c.Kinds {
+			counts[k]++
+		}
+		kinds = make([]Kind, 0, len(c.Kinds))
+		if bigFirst {
+			for i := len(counts) - 1; i >= 0; i-- {
+				for n := 0; n < counts[i]; n++ {
+					kinds = append(kinds, Kind(i))
+				}
+			}
+		} else {
+			for i := 0; i < len(counts); i++ {
+				for n := 0; n < counts[i]; n++ {
+					kinds = append(kinds, Kind(i))
+				}
 			}
 		}
 	} else {
-		for i := 0; i < len(counts); i++ {
-			for n := 0; n < counts[i]; n++ {
-				kinds = append(kinds, Kind(i))
+		kinds = make([]Kind, len(c.Kinds))
+		for _, d := range c.Topo.Domains {
+			ids := append([]int(nil), d.Cores...)
+			sort.Ints(ids)
+			counts := make([]int, c.NumTiers())
+			for _, id := range ids {
+				counts[c.Kinds[id]]++
+			}
+			pos := 0
+			write := func(tier int) {
+				for n := 0; n < counts[tier]; n++ {
+					kinds[ids[pos]] = Kind(tier)
+					pos++
+				}
+			}
+			if bigFirst {
+				for i := len(counts) - 1; i >= 0; i-- {
+					write(i)
+				}
+			} else {
+				for i := 0; i < len(counts); i++ {
+					write(i)
+				}
 			}
 		}
 	}
@@ -361,7 +517,7 @@ func (c Config) Ordered(bigFirst bool) Config {
 	if !bigFirst {
 		name += "-lf"
 	}
-	return Config{Name: name, Kinds: kinds, TierSet: c.TierSet}
+	return Config{Name: name, Kinds: kinds, TierSet: c.TierSet, Topo: c.Topo}
 }
 
 // NumCores returns the total core count.
@@ -430,7 +586,7 @@ func (c Config) AllBig() Config {
 	for i := range kinds {
 		kinds[i] = top
 	}
-	return Config{Name: c.Name + "-allbig", Kinds: kinds, TierSet: c.TierSet}
+	return Config{Name: c.Name + "-allbig", Kinds: kinds, TierSet: c.TierSet, Topo: c.Topo}
 }
 
 // NewSymmetric builds an n-core machine of a single core kind from the
@@ -483,15 +639,32 @@ var (
 	Config64B64S = NewConfig(64, 64, true)
 )
 
+// The committed NUMA palettes: multi-socket machines with shared-LLC
+// domains and a cold-cache migration penalty per distance hop.
+var (
+	// Config2x32B32M64S is a 256-core two-socket tri-gear server: each
+	// socket carries 32 big + 32 medium + 64 little cores split into two
+	// LLC domains.
+	Config2x32B32M64S = NewNUMAConfig(2, 2, TriGearTiers(), []int{64, 32, 32}, topo.DefaultPenaltyCycles, true)
+	// Config4x16B16S is a 128-core four-socket big.LITTLE server: one LLC
+	// domain per socket of 16 big + 16 little cores.
+	Config4x16B16S = NewNUMAConfig(4, 1, DefaultTiers(), []int{16, 16}, topo.DefaultPenaltyCycles, true)
+	// Config2x2B2S is the small two-socket shape (2 big + 2 little per
+	// socket) the determinism tests and migration-cost sweeps use.
+	Config2x2B2S = NewNUMAConfig(2, 1, DefaultTiers(), []int{2, 2}, topo.DefaultPenaltyCycles, true)
+)
+
 // EvaluatedConfigs lists the four paper platform shapes in paper order.
 func EvaluatedConfigs() []Config {
 	return []Config{Config2B2S, Config2B4S, Config4B2S, Config4B4S}
 }
 
 // NamedConfigs lists every named platform shape the tools accept: the four
-// paper shapes, the tri-gear extension and the big-machine palettes.
+// paper shapes, the tri-gear extension, the big-machine palettes and the
+// multi-socket NUMA palettes.
 func NamedConfigs() []Config {
-	return append(EvaluatedConfigs(), Config2B2M2S, Config32B32M64S, Config64B64S)
+	return append(EvaluatedConfigs(), Config2B2M2S, Config32B32M64S, Config64B64S,
+		Config2x2B2S, Config2x32B32M64S, Config4x16B16S)
 }
 
 // ConfigByName returns the named config (for CLI tools), or false.

@@ -21,5 +21,11 @@ func (c Config) Fingerprint() string {
 			t.Name, t.Symbol, t.Model, t.FreqMHz, t.Uarch, t.Capacity,
 			t.MinSpeedup, t.MaxSpeedup, t.L1IKB, t.L1DKB, t.L2KB, t.OPPsMHz)
 	}
+	// Topology folds in via its canonical string — but only when non-flat,
+	// so every pre-topology fingerprint (and with it CellKey identity,
+	// journals and fleet wire specs) is unchanged byte for byte.
+	if !c.Topo.IsFlat() {
+		fmt.Fprintf(h, "|topo:%s", c.Topo.Canonical())
+	}
 	return fmt.Sprintf("%s#%016x", c.Name, h.Sum64())
 }

@@ -1,0 +1,174 @@
+package cpu
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"colab/internal/topo"
+)
+
+// The topology fold must be invisible on flat configs: every pre-topology
+// fingerprint — and with it CellKey identity, journals and fleet wire
+// specs — stays byte-identical.
+func TestFlatFingerprintsUnchanged(t *testing.T) {
+	want := map[string]string{
+		"2B2S":      "2B2S#e3fe6e794b9fbf44",
+		"2B4S":      "2B4S#0e927f3d1221f014",
+		"4B2S":      "4B2S#91d41ef3bf865788",
+		"4B4S":      "4B4S#06b41ab0af0fb2c8",
+		"2B2M2S":    "2B2M2S#9aad8a2ff2a22bd3",
+		"32B32M64S": "32B32M64S#56c37b7ba603ce73",
+		"64B64S":    "64B64S#2171b29e32aad740",
+	}
+	for _, c := range NamedConfigs() {
+		w, ok := want[c.Name]
+		if !ok {
+			continue // NUMA palettes are new; covered below
+		}
+		if got := c.Fingerprint(); got != w {
+			t.Errorf("flat fingerprint for %s drifted: got %s, want %s", c.Name, got, w)
+		}
+	}
+}
+
+func TestNUMAFingerprintFoldsTopology(t *testing.T) {
+	numa := Config2x2B2S
+	flat := numa.Flat()
+	fpNUMA, fpFlat := numa.Fingerprint(), flat.Fingerprint()
+	if fpNUMA == fpFlat {
+		t.Fatalf("NUMA config fingerprints identically to its flat shape: %s", fpNUMA)
+	}
+	// Same layout at a different migration cost is a different machine.
+	if got := numa.WithMigrationCost(1).Fingerprint(); got == fpNUMA {
+		t.Fatalf("changing migration cost did not change the fingerprint")
+	}
+	// But the fold is deterministic.
+	if again := Config2x2B2S.Fingerprint(); again != fpNUMA {
+		t.Fatalf("NUMA fingerprint unstable: %s vs %s", fpNUMA, again)
+	}
+}
+
+func TestNewNUMAConfigLayout(t *testing.T) {
+	c := Config2x2B2S
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.Name != "2x2B2S" {
+		t.Fatalf("name = %q, want 2x2B2S", c.Name)
+	}
+	if len(c.Kinds) != 8 {
+		t.Fatalf("cores = %d, want 8", len(c.Kinds))
+	}
+	// Per-socket big-first blocks: B B S S | B B S S.
+	want := []Kind{Big, Big, Little, Little, Big, Big, Little, Little}
+	if !reflect.DeepEqual(c.Kinds, want) {
+		t.Fatalf("kinds = %v, want %v", c.Kinds, want)
+	}
+	if got := c.Topo.NumSockets(); got != 2 {
+		t.Fatalf("sockets = %d, want 2", got)
+	}
+	if got := c.Topo.NumDomains(); got != 2 {
+		t.Fatalf("domains = %d, want 2", got)
+	}
+
+	big := Config2x32B32M64S
+	if err := big.Validate(); err != nil {
+		t.Fatalf("Validate(%s): %v", big.Name, err)
+	}
+	if big.Name != "2x32B32M64S" || len(big.Kinds) != 256 {
+		t.Fatalf("big palette: name %q cores %d, want 2x32B32M64S with 256", big.Name, len(big.Kinds))
+	}
+	if got := big.Topo.NumDomains(); got != 4 {
+		t.Fatalf("big palette domains = %d, want 4", got)
+	}
+
+	four := Config4x16B16S
+	if err := four.Validate(); err != nil {
+		t.Fatalf("Validate(%s): %v", four.Name, err)
+	}
+	if four.Name != "4x16B16S" || len(four.Kinds) != 128 || four.Topo.NumSockets() != 4 {
+		t.Fatalf("four-socket palette: name %q cores %d sockets %d", four.Name, len(four.Kinds), four.Topo.NumSockets())
+	}
+}
+
+func TestOrderedPreservesDomainComposition(t *testing.T) {
+	c := Config2x32B32M64S
+	lf := c.Ordered(false)
+	if lf.Name != "2x32B32M64S-lf" {
+		t.Fatalf("lf name = %q", lf.Name)
+	}
+	if !reflect.DeepEqual(lf.Topo, c.Topo) {
+		t.Fatalf("Ordered dropped the topology")
+	}
+	// Every domain keeps its tier composition — only the order within the
+	// domain flips — so the topology still describes the same machine.
+	domains := c.Topo.CoreDomains(len(c.Kinds))
+	for _, cfg := range []Config{lf, lf.Ordered(true)} {
+		for di := range c.Topo.Domains {
+			orig := make([]int, c.NumTiers())
+			got := make([]int, c.NumTiers())
+			for id, d := range domains {
+				if d == di {
+					orig[c.Kinds[id]]++
+					got[cfg.Kinds[id]]++
+				}
+			}
+			if !reflect.DeepEqual(orig, got) {
+				t.Fatalf("domain %d tier mix changed: %v -> %v (%s)", di, orig, got, cfg.Name)
+			}
+		}
+	}
+	// Round trip restores the original layout exactly.
+	back := lf.Ordered(true)
+	if !reflect.DeepEqual(back.Kinds, c.Kinds) || back.Name != c.Name {
+		t.Fatalf("Ordered round trip drifted")
+	}
+	// Within-domain ordering in the lf variant is ascending capacity.
+	// Domain 0 holds 32 big + 32 medium cores: lf puts medium (tier 1)
+	// first and big (tier 2) last; domain 1 is all little (tier 0).
+	if lf.Kinds[0] != Kind(1) || lf.Kinds[63] != Kind(2) || lf.Kinds[64] != Kind(0) {
+		t.Fatalf("lf variant not ascending within domain: %v %v %v", lf.Kinds[0], lf.Kinds[63], lf.Kinds[64])
+	}
+}
+
+func TestFlatHelperStripsTopology(t *testing.T) {
+	flat := Config2x2B2S.Flat()
+	if !flat.Topo.IsFlat() {
+		t.Fatalf("Flat() left a topology behind")
+	}
+	if !reflect.DeepEqual(flat.Kinds, Config2x2B2S.Kinds) {
+		t.Fatalf("Flat() changed the core layout")
+	}
+}
+
+func TestWithTopologyValidates(t *testing.T) {
+	c := NewConfig(2, 2, true).WithTopology(topo.Uniform(2, 1, 2, 0))
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	bad := NewConfig(2, 2, true).WithTopology(topo.Uniform(2, 1, 3, 0)) // 6 cores over a 4-core machine
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("mismatched topology accepted")
+	}
+}
+
+func TestDescribeTopology(t *testing.T) {
+	flat := Config4B4S.DescribeTopology()
+	if len(flat) != 1 || !strings.Contains(flat[0], "flat") {
+		t.Fatalf("flat describe = %q", flat)
+	}
+	numa := Config2x2B2S.DescribeTopology()
+	if len(numa) != 3 {
+		t.Fatalf("describe lines = %d, want summary + 2 domains: %q", len(numa), numa)
+	}
+	if !strings.Contains(numa[0], "2 sockets") || !strings.Contains(numa[0], "8000") {
+		t.Fatalf("summary line = %q", numa[0])
+	}
+	if !strings.Contains(numa[1], "socket 0 / domain 0: cores 0-3 (2B+2S)") {
+		t.Fatalf("domain line = %q", numa[1])
+	}
+	if !strings.Contains(numa[2], "socket 1 / domain 1: cores 4-7 (2B+2S)") {
+		t.Fatalf("domain line = %q", numa[2])
+	}
+}

@@ -10,7 +10,7 @@ import (
 )
 
 // TestClassTableStandardSuite regenerates the Figure 8-style per-class
-// table for the three standard-suite scenarios under all five policies
+// table for the four standard-suite scenarios under all five policies
 // (Linux joins implicitly as the normalisation reference).
 func TestClassTableStandardSuite(t *testing.T) {
 	if testing.Short() {
@@ -23,7 +23,7 @@ func TestClassTableStandardSuite(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := tab.String()
-	for _, class := range []string{"mixed", "interactive", "batch"} {
+	for _, class := range []string{"mixed", "interactive", "batch", "memory"} {
 		if !strings.Contains(out, class) {
 			t.Errorf("table misses class group %q:\n%s", class, out)
 		}
@@ -36,10 +36,10 @@ func TestClassTableStandardSuite(t *testing.T) {
 	if !strings.Contains(out, "geomean") {
 		t.Errorf("table misses geomean rows:\n%s", out)
 	}
-	// Default grouping covers exactly the suite's three classes: three
-	// per-config rows plus three geomean rows.
-	if got := strings.Count(out, "geomean"); got != 3 {
-		t.Errorf("want 3 geomean rows, got %d:\n%s", got, out)
+	// Default grouping covers exactly the suite's four classes: four
+	// per-config rows plus four geomean rows.
+	if got := strings.Count(out, "geomean"); got != 4 {
+		t.Errorf("want 4 geomean rows, got %d:\n%s", got, out)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"colab/internal/mathx"
 	"colab/internal/sim"
 	"colab/internal/task"
+	"colab/internal/topo"
 )
 
 // workEpsilon is the residual work (in little-core nanoseconds) below which
@@ -34,6 +35,16 @@ type Machine struct {
 	tierIDs  [][]int // per tier index, core IDs in core order
 	topTier  int     // index of the highest-capacity tier in the palette
 	governor DVFSGovernor
+
+	// Topology (all derived from config.Topo in NewMachine). Every
+	// topology-aware branch gates on topoActive, so a flat or zero-penalty
+	// topology runs the exact pre-topology code path.
+	topoActive   bool
+	domainOf     []int     // per core, LLC domain index (all zero when flat)
+	domainIDs    [][]int   // per domain, core IDs in core order
+	dist         [][]int   // inter-domain distance in hops
+	migPenaltyNS []float64 // per destination core, penalty ns per hop (PenaltyCycles at nominal freq)
+	nextHome     int       // round-robin cursor for home-domain placement at admission
 }
 
 // NewMachine builds a machine. The workload's threads must be freshly
@@ -83,6 +94,28 @@ func NewMachine(cfg cpu.Config, sched Scheduler, w *task.Workload, params Params
 			m.schedule(c)
 		}
 		m.cores = append(m.cores, c)
+	}
+	tp := cfg.Topology()
+	m.topoActive = tp.Active()
+	m.domainOf = tp.CoreDomains(cfg.NumCores())
+	m.domainIDs = make([][]int, tp.NumDomains())
+	for id, dom := range m.domainOf {
+		m.domainIDs[dom] = append(m.domainIDs[dom], id)
+	}
+	if m.topoActive {
+		nd := tp.NumDomains()
+		m.dist = make([][]int, nd)
+		for a := 0; a < nd; a++ {
+			m.dist[a] = make([]int, nd)
+			for b := 0; b < nd; b++ {
+				m.dist[a][b] = tp.Distance(a, b)
+			}
+		}
+		m.migPenaltyNS = make([]float64, cfg.NumCores())
+		for i, c := range m.cores {
+			// cycles -> ns at the destination core's nominal frequency.
+			m.migPenaltyNS[i] = tp.PenaltyCycles * 1000 / float64(c.Tier.FreqMHz)
+		}
 	}
 	id := 0
 	for _, a := range w.Apps {
@@ -138,6 +171,60 @@ func (m *Machine) BigCoreIDs() []int { return m.tierIDs[m.topTier] }
 
 // LittleCoreIDs returns indices of base-tier cores in core order.
 func (m *Machine) LittleCoreIDs() []int { return m.tierIDs[0] }
+
+// Topology returns the machine's socket/LLC-domain layout (the zero-value
+// flat topology on pre-topology configs).
+func (m *Machine) Topology() topo.Topology { return m.config.Topology() }
+
+// TopoActive reports whether topology affects this run: multiple LLC
+// domains with a non-zero migration penalty. Stages gate their
+// topology-aware behaviour on this so zero-penalty topologies schedule
+// bit-identically to the flat machine.
+func (m *Machine) TopoActive() bool { return m.topoActive }
+
+// NumDomains returns the number of LLC domains (1 on flat machines).
+func (m *Machine) NumDomains() int { return len(m.domainIDs) }
+
+// DomainOf returns the LLC domain index of a core (0 on flat machines).
+func (m *Machine) DomainOf(core int) int { return m.domainOf[core] }
+
+// DomainCoreIDs returns the core indices of one LLC domain, in core order
+// (do not mutate).
+func (m *Machine) DomainCoreIDs(dom int) []int { return m.domainIDs[dom] }
+
+// DomainDistance returns the hop count between two LLC domains (0 on flat
+// machines).
+func (m *Machine) DomainDistance(a, b int) int {
+	if m.dist == nil {
+		return 0
+	}
+	return m.dist[a][b]
+}
+
+// TopologyOf returns a core's socket and LLC domain indices.
+func (m *Machine) TopologyOf(core int) (socket, domain int) {
+	dom := m.domainOf[core]
+	t := m.config.Topology()
+	if dom < len(t.Domains) {
+		return t.Domains[dom].Socket, dom
+	}
+	return 0, dom
+}
+
+// MigrationPenalty returns the extra dispatch cost a thread last run on
+// core from pays to start on core to: the cold-cache penalty, in
+// destination-core nanoseconds, scaled by the LLC-domain hop distance.
+// Zero on flat machines, with penalty 0, and within one domain.
+func (m *Machine) MigrationPenalty(from, to int) sim.Time {
+	if !m.topoActive || from < 0 {
+		return 0
+	}
+	hops := m.dist[m.domainOf[from]][m.domainOf[to]]
+	if hops == 0 {
+		return 0
+	}
+	return sim.Time(float64(hops) * m.migPenaltyNS[to])
+}
 
 // Workload returns the workload under simulation.
 func (m *Machine) Workload() *task.Workload { return m.workload }
@@ -226,6 +313,7 @@ func (m *Machine) start() {
 		}
 		a.StartTime = 0
 		m.emit(TraceAdmit, -1, a.Name)
+		m.placeApp(a)
 		for _, t := range a.Threads {
 			m.sched.Admit(t)
 		}
@@ -257,6 +345,21 @@ func (m *Machine) start() {
 	}
 }
 
+// placeApp assigns the app a home LLC domain — apps round-robin across
+// domains in admission order, threads inherit the app's domain — before
+// the policy sees any of its threads. On flat or zero-penalty machines
+// every thread stays in domain 0 and placement is a no-op.
+func (m *Machine) placeApp(a *task.App) {
+	if !m.topoActive {
+		return
+	}
+	home := m.nextHome % len(m.domainIDs)
+	m.nextHome++
+	for _, t := range a.Threads {
+		t.HomeDomain = home
+	}
+}
+
 // admitApp introduces one open-system app at its arrival time: the policy
 // sees every thread (state New) before the first Enqueue, exactly like the
 // time-zero admission, and runnable threads then enter as wake-ups so they
@@ -268,6 +371,7 @@ func (m *Machine) admitApp(a *task.App) {
 	}
 	a.StartTime = m.eng.Now()
 	m.emit(TraceAdmit, -1, a.Name)
+	m.placeApp(a)
 	for _, t := range a.Threads {
 		m.sched.Admit(t)
 	}
@@ -504,6 +608,15 @@ func (m *Machine) schedule(c *Core) {
 	if t.CoreID >= 0 && t.CoreID != c.ID {
 		cost += m.params.MigrationCost
 		t.Migrations++
+		// Cross-domain moves additionally pay the cold-cache penalty — every
+		// migration path (Requeue relabeling, idle steal, pull preemption)
+		// funnels through this dispatch point.
+		if m.topoActive {
+			if hops := m.dist[m.domainOf[t.CoreID]][m.domainOf[c.ID]]; hops > 0 {
+				cost += sim.Time(float64(hops) * m.migPenaltyNS[c.ID])
+				t.CrossDomainHops += hops
+			}
+		}
 		m.emitT(TraceMigrate, c.ID, t)
 	}
 	m.emitT(TraceDispatch, c.ID, t)

@@ -34,8 +34,11 @@ type ThreadResult struct {
 	BlockBlame  sim.Time
 	WorkDone    float64
 	Migrations  int
-	Preemptions int
-	Switches    int
+	// CrossDomainHops sums LLC-domain hop distance over the thread's
+	// migrations (always 0 on flat machines).
+	CrossDomainHops int
+	Preemptions     int
+	Switches        int
 }
 
 // CoreResult records one core's utilisation.
@@ -89,19 +92,20 @@ func (m *Machine) buildResult() *Result {
 	}
 	for _, t := range m.workload.Threads() {
 		r.Threads = append(r.Threads, ThreadResult{
-			Name:        t.Name,
-			ID:          t.ID,
-			App:         t.App.Name,
-			TrueSpeedup: t.Profile.TrueSpeedup(),
-			SumExec:     t.SumExec,
-			SumExecBig:  t.SumExecBig,
-			BlockedTime: t.BlockedTime,
-			ReadyTime:   t.ReadyTime,
-			BlockBlame:  t.BlockBlame,
-			WorkDone:    t.WorkDone,
-			Migrations:  t.Migrations,
-			Preemptions: t.Preemptions,
-			Switches:    t.Switches,
+			Name:            t.Name,
+			ID:              t.ID,
+			App:             t.App.Name,
+			TrueSpeedup:     t.Profile.TrueSpeedup(),
+			SumExec:         t.SumExec,
+			SumExecBig:      t.SumExecBig,
+			BlockedTime:     t.BlockedTime,
+			ReadyTime:       t.ReadyTime,
+			BlockBlame:      t.BlockBlame,
+			WorkDone:        t.WorkDone,
+			Migrations:      t.Migrations,
+			CrossDomainHops: t.CrossDomainHops,
+			Preemptions:     t.Preemptions,
+			Switches:        t.Switches,
 		})
 		r.TotalMigrations += t.Migrations
 		r.TotalPreemptions += t.Preemptions

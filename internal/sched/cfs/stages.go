@@ -135,21 +135,26 @@ func (s *SelectorStage) PopLocal(core int) *task.Thread {
 }
 
 // StealInto steals the least-entitled thread runnable on core from the
-// busiest of the given source queues, nil when nothing is stealable.
-// Exported for selector stages with custom stealing rules (EAS).
+// busiest of the given source queues, nil when nothing is stealable. On an
+// active topology the idle balance is LLC-aware: nearer domains are
+// searched first (cheapest migration), busiest-first within one distance
+// band. Exported for selector stages with custom stealing rules (EAS).
 func (s *SelectorStage) StealInto(core int, from []int) *task.Thread {
 	q := s.pc.Queues()
+	m := s.pc.Machine()
+	topoActive := m.TopoActive()
 	order := s.scratch[:0]
 	for _, i := range from {
 		if i != core && q.Len(i) > 0 {
 			order = append(order, i)
 		}
 	}
-	// Busiest first; stable insertion sort so equal-length queues keep their
-	// from-order (identical to sort.Slice on the small slices it small-sorts)
-	// without allocating a comparator per call.
+	// Stable insertion sort so queues of equal rank keep their from-order
+	// (identical to sort.Slice on the small slices it small-sorts) without
+	// allocating a comparator per call. Flat machines rank busiest-first;
+	// an active topology ranks nearest-domain-first, then busiest.
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && q.Len(order[j]) > q.Len(order[j-1]); j-- {
+		for j := i; j > 0 && s.stealBefore(q, m, core, order[j], order[j-1], topoActive); j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
@@ -160,6 +165,18 @@ func (s *SelectorStage) StealInto(core int, from []int) *task.Thread {
 		}
 	}
 	return nil
+}
+
+// stealBefore ranks steal source a strictly ahead of b for the idle core.
+func (s *SelectorStage) stealBefore(q *kernel.RunQueues, m *kernel.Machine, core, a, b int, topoActive bool) bool {
+	if topoActive {
+		da := m.DomainDistance(m.DomainOf(core), m.DomainOf(a))
+		db := m.DomainDistance(m.DomainOf(core), m.DomainOf(b))
+		if da != db {
+			return da < db
+		}
+	}
+	return q.Len(a) > q.Len(b)
 }
 
 // nrRunning is the number of runnable threads associated with core (queued

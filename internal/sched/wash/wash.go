@@ -95,6 +95,17 @@ type LabelerStage struct {
 
 	bigMask    task.Mask
 	littleMask task.Mask
+
+	// Tier-ranked topology mode (DESIGN.md §3), engaged only on machines
+	// with an active topology; flat machines run the legacy two-armed
+	// heuristic byte-identically. Threads are ranked by the same mixed
+	// score and spread over the full tier ladder proportionally to tier
+	// width, each pinned to its home LLC domain's slice of the tier.
+	ranked       bool
+	tierMasks    []task.Mask
+	tierCount    []int
+	totalCores   int
+	domTierMasks [][]task.Mask // [domain][tier] = tier ∩ domain cores
 }
 
 // NewLabeler returns the WASH labeler stage.
@@ -114,6 +125,28 @@ func (l *LabelerStage) Start(pc *kernel.PipelineContext) {
 	l.littleMask = task.MaskOf(m.LittleCoreIDs())
 	if l.littleMask.IsEmpty() { // symmetric all-big machine: nothing to steer
 		l.littleMask = l.bigMask
+	}
+	l.ranked = m.TopoActive()
+	l.tierMasks, l.tierCount, l.domTierMasks, l.totalCores = nil, nil, nil, 0
+	if l.ranked {
+		nt := m.NumTiers()
+		l.tierMasks = make([]task.Mask, nt)
+		l.tierCount = make([]int, nt)
+		for k := 0; k < nt; k++ {
+			ids := m.TierCoreIDs(k)
+			l.tierMasks[k] = task.MaskOf(ids)
+			l.tierCount[k] = len(ids)
+			l.totalCores += len(ids)
+		}
+		nd := m.NumDomains()
+		l.domTierMasks = make([][]task.Mask, nd)
+		for d := 0; d < nd; d++ {
+			domMask := task.MaskOf(m.DomainCoreIDs(d))
+			l.domTierMasks[d] = make([]task.Mask, nt)
+			for k := 0; k < nt; k++ {
+				l.domTierMasks[d][k] = l.tierMasks[k].And(domMask)
+			}
+		}
 	}
 	m.Engine().After(l.opts.Interval, l.label)
 }
@@ -161,7 +194,9 @@ func (l *LabelerStage) label() {
 	}
 	pMean, pStd := mathx.Mean(preds), mathx.Std(preds)
 	bMean, bStd := mathx.Mean(blames), mathx.Std(blames)
-	for _, t := range threads {
+	scores := make([]float64, len(threads))
+	bottleneck := make([]bool, len(threads))
+	for i, t := range threads {
 		in := l.threads[t]
 		score := l.opts.SpeedupWeight*zscore(in.pred, pMean, pStd) +
 			l.opts.BlockWeight*zscore(in.blameEWMA, bMean, bStd)
@@ -169,27 +204,98 @@ func (l *LabelerStage) label() {
 			bigShare := float64(t.SumExecBig) / float64(t.SumExec)
 			score -= l.opts.FairWeight * (2*bigShare - 1)
 		}
+		scores[i] = score
 		// WASH's characteristic behaviour: every thread that looks like a
 		// bottleneck is pushed to the big cores in addition to the high
 		// scorers — the over-crowding COLAB's motivating example targets.
+		bottleneck[i] = in.blameEWMA > bMean && in.blameEWMA > 0
+	}
+	if l.ranked {
+		l.applyRanked(threads, scores, bottleneck)
+		return
+	}
+	for i, t := range threads {
 		// Threads with no clear signal keep full affinity (the heuristic
 		// only *biases* placement; undifferentiated threads are left to the
 		// underlying Linux scheduler).
-		bottleneck := in.blameEWMA > bMean && in.blameEWMA > 0
 		var mask task.Mask
 		switch {
-		case score > l.opts.Band || bottleneck:
+		case scores[i] > l.opts.Band || bottleneck[i]:
 			mask = l.bigMask
-		case score < -l.opts.Band:
+		case scores[i] < -l.opts.Band:
 			mask = l.littleMask
 		default:
 			mask = task.MaskAll()
 		}
-		if !t.Affinity.Equal(mask) {
-			t.Affinity = mask
-			// Re-place queued threads whose queue no longer matches the
-			// mask, the effect sched_setaffinity has on a waiting task.
-			l.pc.Requeue(t)
+		l.setMask(t, mask)
+	}
+}
+
+// setMask updates a thread's affinity, re-placing it when queued — the
+// effect sched_setaffinity has on a waiting task.
+func (l *LabelerStage) setMask(t *task.Thread, mask task.Mask) {
+	if !t.Affinity.Equal(mask) {
+		t.Affinity = mask
+		l.pc.Requeue(t)
+	}
+}
+
+// applyRanked is the topology-aware tier-ranked arm: differentiated
+// threads (bottlenecks and out-of-band scorers) are ordered by (bottleneck,
+// score, ID) and spread over the tier ladder from the top down, each tier
+// receiving a share proportional to its core count; a ranked thread is
+// pinned to its home LLC domain's slice of the assigned tier (the whole
+// tier when the domain has no such cores). Undifferentiated threads keep
+// full affinity, exactly like the flat dead-zone.
+func (l *LabelerStage) applyRanked(threads []*task.Thread, scores []float64, bottleneck []bool) {
+	ranked := make([]int, 0, len(threads))
+	for i := range threads {
+		if bottleneck[i] || scores[i] > l.opts.Band || scores[i] < -l.opts.Band {
+			ranked = append(ranked, i)
+		} else {
+			l.setMask(threads[i], task.MaskAll())
+		}
+	}
+	if len(ranked) == 0 {
+		return
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		ia, ib := ranked[a], ranked[b]
+		if bottleneck[ia] != bottleneck[ib] {
+			return bottleneck[ia]
+		}
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return threads[ia].ID < threads[ib].ID
+	})
+	// Integer tier quotas proportional to tier width, remainders handed to
+	// the widest-possible upper tiers first: deterministic, sums to n.
+	n := len(ranked)
+	quota := make([]int, len(l.tierCount))
+	assigned := 0
+	for k := range quota {
+		quota[k] = n * l.tierCount[k] / l.totalCores
+		assigned += quota[k]
+	}
+	for assigned < n {
+		for k := len(quota) - 1; k >= 0 && assigned < n; k-- {
+			if l.tierCount[k] > 0 {
+				quota[k]++
+				assigned++
+			}
+		}
+	}
+	pos := 0
+	for k := len(quota) - 1; k >= 0; k-- {
+		for q := 0; q < quota[k]; q++ {
+			t := threads[ranked[pos]]
+			pos++
+			mask := l.domTierMasks[t.HomeDomain][k]
+			if mask.IsEmpty() {
+				mask = l.tierMasks[k]
+			}
+			l.setMask(t, mask)
 		}
 	}
 }

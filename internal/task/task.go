@@ -176,8 +176,9 @@ type Thread struct {
 	CoreID    int     // core currently running (or last ran) the thread; -1 = never ran
 
 	// Scheduling state.
-	Affinity Mask     // allowed-core set; policies may narrow it (WASH)
-	VRuntime sim.Time // CFS virtual runtime (scale-slice adjusts its growth)
+	Affinity   Mask     // allowed-core set; policies may narrow it (WASH)
+	VRuntime   sim.Time // CFS virtual runtime (scale-slice adjusts its growth)
+	HomeDomain int      // LLC domain the thread's app was placed in at admission (0 on flat machines)
 
 	// Accounting (kernel-owned).
 	SumExec     sim.Time // total time on any core
@@ -195,9 +196,10 @@ type Thread struct {
 	IntervalCounters cpu.Vec // since the last labeler interval; reset by policies
 
 	// Event statistics.
-	Migrations  int
-	Preemptions int
-	Switches    int
+	Migrations      int
+	CrossDomainHops int // sum of LLC-domain hops over all migrations (0 on flat machines)
+	Preemptions     int
+	Switches        int
 }
 
 // AllowedOn reports whether the thread's affinity admits core index c.

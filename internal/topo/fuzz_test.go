@@ -1,0 +1,33 @@
+package topo
+
+import "testing"
+
+// FuzzTopologyCanonical hunts for canonical-form instability: any string
+// Parse accepts must re-render to a fixed point (Parse∘Canonical is
+// idempotent) and survive a second round trip unchanged. Seeds cover the
+// committed palette layouts, explicit distance matrices, non-contiguous
+// core sets and the flat sentinel.
+func FuzzTopologyCanonical(f *testing.F) {
+	f.Add("flat")
+	f.Add(Uniform(2, 2, 64, DefaultPenaltyCycles).Canonical())
+	f.Add(Uniform(4, 1, 32, DefaultPenaltyCycles).Canonical())
+	f.Add(Uniform(2, 1, 4, DefaultPenaltyCycles).Canonical())
+	f.Add("cost=0;dom=0:0-1;dom=1:2-3")
+	f.Add("cost=100;dom=0:0+2+4;dom=1:1+3+5-7")
+	f.Add("cost=8000;dom=0:0-1;dom=1:2-3;dist=0,4/4,0")
+	f.Add("cost=1.5;dom=0:0;dom=0:1;dom=1:2;dom=1:3")
+	f.Fuzz(func(t *testing.T, s string) {
+		topo, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canon := topo.Canonical()
+		back, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Canonical %q of accepted input %q does not re-parse: %v", canon, s, err)
+		}
+		if again := back.Canonical(); again != canon {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", s, canon, again)
+		}
+	})
+}

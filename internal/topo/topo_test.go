@@ -1,0 +1,194 @@
+package topo
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFlatZeroValue(t *testing.T) {
+	var z Topology
+	if !z.IsFlat() || z.Active() {
+		t.Fatalf("zero topology: IsFlat=%v Active=%v, want flat and inactive", z.IsFlat(), z.Active())
+	}
+	if got := z.NumDomains(); got != 1 {
+		t.Fatalf("flat NumDomains = %d, want 1", got)
+	}
+	if got := z.NumSockets(); got != 1 {
+		t.Fatalf("flat NumSockets = %d, want 1", got)
+	}
+	if got := z.Canonical(); got != "flat" {
+		t.Fatalf("flat Canonical = %q", got)
+	}
+	if err := z.Validate(8); err != nil {
+		t.Fatalf("flat Validate: %v", err)
+	}
+	for _, d := range z.CoreDomains(4) {
+		if d != 0 {
+			t.Fatalf("flat CoreDomains = %v, want all zero", z.CoreDomains(4))
+		}
+	}
+}
+
+func TestActiveGate(t *testing.T) {
+	u := Uniform(2, 1, 2, DefaultPenaltyCycles)
+	if !u.Active() {
+		t.Fatalf("2-socket topology with penalty should be active")
+	}
+	u.PenaltyCycles = 0
+	if u.Active() {
+		t.Fatalf("zero-penalty topology must be inactive")
+	}
+	single := Uniform(1, 1, 4, DefaultPenaltyCycles)
+	if !single.IsFlat() || single.Active() {
+		t.Fatalf("single-domain topology must be flat and inactive")
+	}
+}
+
+func TestUniformLayoutAndDistance(t *testing.T) {
+	// 2 sockets × 2 domains × 3 cores, socket-major contiguous.
+	u := Uniform(2, 2, 3, 1000)
+	if err := u.Validate(12); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := u.NumDomains(); got != 4 {
+		t.Fatalf("NumDomains = %d, want 4", got)
+	}
+	if got := u.NumSockets(); got != 2 {
+		t.Fatalf("NumSockets = %d, want 2", got)
+	}
+	wantDomains := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3}
+	if got := u.CoreDomains(12); !reflect.DeepEqual(got, wantDomains) {
+		t.Fatalf("CoreDomains = %v, want %v", got, wantDomains)
+	}
+	// Derived distance: 0 same domain, 1 same socket, 2 cross-socket.
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {0, 2, 2}, {1, 3, 2}, {2, 3, 1},
+	}
+	for _, c := range cases {
+		if got := u.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExplicitDistanceMatrix(t *testing.T) {
+	u := Uniform(2, 1, 2, 500)
+	u.Dist = [][]int{{0, 3}, {3, 0}}
+	if err := u.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := u.Distance(0, 1); got != 3 {
+		t.Fatalf("explicit Distance(0,1) = %d, want 3", got)
+	}
+	canon := u.Canonical()
+	if !strings.Contains(canon, ";dist=0,3/3,0") {
+		t.Fatalf("Canonical %q missing dist matrix", canon)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		t    Topology
+		n    int
+	}{
+		{"negative penalty", Topology{PenaltyCycles: -1}, 4},
+		{"dist without domains", Topology{Dist: [][]int{{0}}}, 4},
+		{"empty domain", Topology{Domains: []Domain{{Socket: 0}, {Socket: 1, Cores: []int{0, 1, 2, 3}}}}, 4},
+		{"negative socket", Topology{Domains: []Domain{{Socket: -1, Cores: []int{0, 1}}, {Socket: 0, Cores: []int{2, 3}}}}, 4},
+		{"core out of range", Topology{Domains: []Domain{{Socket: 0, Cores: []int{0, 9}}, {Socket: 1, Cores: []int{1, 2}}}}, 4},
+		{"duplicate core", Topology{Domains: []Domain{{Socket: 0, Cores: []int{0, 1}}, {Socket: 1, Cores: []int{1, 2}}}}, 4},
+		{"partial cover", Topology{Domains: []Domain{{Socket: 0, Cores: []int{0, 1}}, {Socket: 1, Cores: []int{2}}}}, 4},
+		{"ragged dist", Topology{Domains: []Domain{{Socket: 0, Cores: []int{0, 1}}, {Socket: 1, Cores: []int{2, 3}}}, Dist: [][]int{{0, 1}, {1}}}, 4},
+		{"asymmetric dist", Topology{Domains: []Domain{{Socket: 0, Cores: []int{0, 1}}, {Socket: 1, Cores: []int{2, 3}}}, Dist: [][]int{{0, 1}, {2, 0}}}, 4},
+		{"nonzero diagonal", Topology{Domains: []Domain{{Socket: 0, Cores: []int{0, 1}}, {Socket: 1, Cores: []int{2, 3}}}, Dist: [][]int{{1, 1}, {1, 0}}}, 4},
+		{"negative dist", Topology{Domains: []Domain{{Socket: 0, Cores: []int{0, 1}}, {Socket: 1, Cores: []int{2, 3}}}, Dist: [][]int{{0, -1}, {-1, 0}}}, 4},
+	}
+	for _, c := range bad {
+		if err := c.t.Validate(c.n); err == nil {
+			t.Errorf("%s: Validate accepted invalid topology", c.name)
+		}
+	}
+}
+
+func TestCanonicalForm(t *testing.T) {
+	u := Uniform(2, 2, 4, 8000)
+	want := "cost=8000;dom=0:0-3;dom=0:4-7;dom=1:8-11;dom=1:12-15"
+	if got := u.Canonical(); got != want {
+		t.Fatalf("Canonical = %q, want %q", got, want)
+	}
+	// Non-contiguous cores use '+'-joined ranges.
+	nc := Topology{
+		PenaltyCycles: 100,
+		Domains: []Domain{
+			{Socket: 0, Cores: []int{0, 2, 4}},
+			{Socket: 1, Cores: []int{1, 3, 5, 6, 7}},
+		},
+	}
+	want = "cost=100;dom=0:0+2+4;dom=1:1+3+5-7"
+	if got := nc.Canonical(); got != want {
+		t.Fatalf("Canonical = %q, want %q", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	topos := []Topology{
+		{},
+		Uniform(2, 1, 2, 0),
+		Uniform(2, 2, 4, 8000),
+		Uniform(4, 1, 32, 123.5),
+		{
+			PenaltyCycles: 100,
+			Domains: []Domain{
+				{Socket: 0, Cores: []int{0, 2, 4}},
+				{Socket: 1, Cores: []int{1, 3, 5, 6, 7}},
+			},
+			Dist: [][]int{{0, 4}, {4, 0}},
+		},
+	}
+	for _, orig := range topos {
+		canon := orig.Canonical()
+		back, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", canon, err)
+		}
+		if got := back.Canonical(); got != canon {
+			t.Fatalf("round trip drift: %q -> %q", canon, got)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"cost=8000",                           // no domains
+		"cost=8000;dom=0:0-3",                 // single domain is not a canonical non-flat form
+		"dom=0:0-1;dom=1:2-3",                 // missing cost
+		"cost=-5;dom=0:0-1;dom=1:2-3",         // negative cost
+		"cost=x;dom=0:0-1;dom=1:2-3",          // bad cost
+		"cost=1;cost=2;dom=0:0-1;dom=1:2-3",   // duplicate cost
+		"cost=1;dom=0-1;dom=1:2-3",            // malformed domain
+		"cost=1;dom=-1:0-1;dom=1:2-3",         // negative socket
+		"cost=1;dom=0:3-0;dom=1:4-7",          // descending range
+		"cost=1;dom=0:0-9999999;dom=1:2",      // oversized range
+		"cost=1;dom=0:0-1;dom=1:2-3;bogus=1",  // unknown field
+		"cost=1;dom=0:0-1;dom=1:2-3;dist=0,x", // bad distance cell
+		"nonsense",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestParseFlat(t *testing.T) {
+	got, err := Parse("flat")
+	if err != nil {
+		t.Fatalf("Parse(flat): %v", err)
+	}
+	if !got.IsFlat() || got.PenaltyCycles != 0 {
+		t.Fatalf("Parse(flat) = %+v, want zero topology", got)
+	}
+}

@@ -25,6 +25,10 @@ type SuiteScenario struct {
 	Class Class
 	// Description is a one-line summary for listings.
 	Description string
+	// Machine names the cpu palette the scenario was tuned on (a
+	// NamedConfigs name). Scenarios stay machine-independent — this is a
+	// listing hint, not a constraint.
+	Machine string
 	// Spec is the registered spec (Spec.Name is Name).
 	Spec Spec
 }
@@ -34,6 +38,7 @@ const (
 	ClassMixed       Class = "mixed"
 	ClassInteractive Class = "interactive"
 	ClassBatch       Class = "batch"
+	ClassMemory      Class = "memory"
 )
 
 // standardSuite builds the suite's specs as literals. It must not call
@@ -52,6 +57,7 @@ func standardSuite() []SuiteScenario {
 			Name:        "datacenter-day",
 			Class:       ClassMixed,
 			Description: "two Poisson streams under a diurnal rate envelope",
+			Machine:     "2B2S",
 			Spec: Spec{
 				Name: "datacenter-day",
 				Terms: []Term{
@@ -68,6 +74,7 @@ func standardSuite() []SuiteScenario {
 			Name:        "interactive-burst",
 			Class:       ClassInteractive,
 			Description: "a Poisson request stream under a square-wave burst envelope",
+			Machine:     "2B2S",
 			Spec: Spec{
 				Name: "interactive-burst",
 				Terms: []Term{
@@ -82,6 +89,7 @@ func standardSuite() []SuiteScenario {
 			Name:        "batch-backfill",
 			Class:       ClassBatch,
 			Description: "closed batch jobs admitted open-loop at 60% target utilisation",
+			Machine:     "4B4S",
 			Spec: Spec{
 				Name: "batch-backfill",
 				Terms: []Term{
@@ -90,6 +98,22 @@ func standardSuite() []SuiteScenario {
 				},
 				Load:  loadgen.Load{Kind: loadgen.Util, Target: 0.6},
 				Class: ClassBatch,
+			},
+		},
+		{
+			Name:        "memory-churn",
+			Class:       ClassMemory,
+			Description: "memory-bound jobs churning open-loop across LLC domains",
+			Machine:     "2x2B2S",
+			Spec: Spec{
+				Name: "memory-churn",
+				Terms: []Term{
+					{Apps: rep("ocean_cp", 2, 2), Seed: 401, HasSeed: true},
+					{Apps: rep("radix", 2, 2), Seed: 402, HasSeed: true},
+					{Apps: rep("fft", 2, 2), Seed: 403, HasSeed: true},
+				},
+				Load:  loadgen.Load{Kind: loadgen.Util, Target: 0.55},
+				Class: ClassMemory,
 			},
 		},
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"colab/internal/cpu"
 )
 
 // TestStandardSuiteRegistered pins the suite's registration surface: every
@@ -14,15 +16,17 @@ func TestStandardSuiteRegistered(t *testing.T) {
 		"datacenter-day":    "water_nsquared:2*2@seed=101@arrive=poisson(4ms)+fft:2*2@seed=102@arrive=poisson(6ms)@load=diurnal(25ms,3)@class=mixed",
 		"interactive-burst": "dedup:2*4@seed=202@arrive=poisson(3ms)@load=burst(16ms,0.25,4)@class=interactive",
 		"batch-backfill":    "lu_cb:2*2@seed=301+radix:2*2@seed=302@load=util(0.6)@class=batch",
+		"memory-churn":      "ocean_cp:2*2@seed=401+radix:2*2@seed=402+fft:2*2@seed=403@load=util(0.55)@class=memory",
 	}
 	classes := map[string]Class{
 		"datacenter-day":    ClassMixed,
 		"interactive-burst": ClassInteractive,
 		"batch-backfill":    ClassBatch,
+		"memory-churn":      ClassMemory,
 	}
 	suite := StandardSuite()
-	if len(suite) != 3 {
-		t.Fatalf("StandardSuite has %d members, want 3", len(suite))
+	if len(suite) != 4 {
+		t.Fatalf("StandardSuite has %d members, want 4", len(suite))
 	}
 	for _, s := range suite {
 		spec, ok := ScenarioByName(s.Name)
@@ -41,6 +45,15 @@ func TestStandardSuiteRegistered(t *testing.T) {
 		}
 		if s.Description == "" {
 			t.Errorf("%s has no description", s.Name)
+		}
+		found := false
+		for _, cfg := range cpu.NamedConfigs() {
+			if cfg.Name == s.Machine {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s machine hint %q is not a registered config", s.Name, s.Machine)
 		}
 		// The canonical form is grammar-valid and a fixed point.
 		again, err := ParseSpec(spec.Canonical())

@@ -14,11 +14,12 @@ import (
 )
 
 // suiteSweep is the standard-suite cross product the determinism tests
-// sweep: all three registered suite scenarios over two policies and two
-// seeds on the paper machine.
+// sweep: all four registered suite scenarios over two policies and two
+// seeds on the paper machine (memory-churn is tuned on the NUMA palette
+// but, like every scenario, runs anywhere).
 func suiteSweep(extra ...colab.ExperimentOption) *colab.Experiment {
 	opts := []colab.ExperimentOption{
-		colab.WithWorkloads("datacenter-day", "interactive-burst", "batch-backfill"),
+		colab.WithWorkloads("datacenter-day", "interactive-burst", "batch-backfill", "memory-churn"),
 		colab.WithMachine(colab.Config2B2S),
 		colab.WithPolicies("linux", "colab"),
 		colab.WithSeeds(1, 2),
@@ -26,12 +27,12 @@ func suiteSweep(extra ...colab.ExperimentOption) *colab.Experiment {
 	return colab.NewExperiment(append(opts, extra...)...)
 }
 
-// TestStandardSuiteAPI pins the public suite surface: three members, each
+// TestStandardSuiteAPI pins the public suite surface: four members, each
 // resolvable as an experiment workload by its registered name.
 func TestStandardSuiteAPI(t *testing.T) {
 	suite := colab.StandardSuite()
-	if len(suite) != 3 {
-		t.Fatalf("StandardSuite has %d members, want 3", len(suite))
+	if len(suite) != 4 {
+		t.Fatalf("StandardSuite has %d members, want 4", len(suite))
 	}
 	for _, s := range suite {
 		if s.Name == "" || s.Class == "" || s.Description == "" {
@@ -57,8 +58,8 @@ func TestStandardSuiteAPI(t *testing.T) {
 // nondeterminism into the cells.
 func TestStandardSuiteSweepDeterminism(t *testing.T) {
 	ref := runCSV(t, suiteSweep())
-	if got := len(strings.Split(strings.TrimSpace(ref), "\n")); got != 1+12 {
-		t.Fatalf("reference csv has %d lines, want header + 12 cells:\n%s", got, ref)
+	if got := len(strings.Split(strings.TrimSpace(ref), "\n")); got != 1+16 {
+		t.Fatalf("reference csv has %d lines, want header + 16 cells:\n%s", got, ref)
 	}
 	for _, workers := range []int{1, 4, 8} {
 		if got := runCSV(t, suiteSweep(colab.WithWorkers(workers))); got != ref {
